@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark file regenerates one of the paper's tables or figures.  The
+measured payload (what pytest-benchmark times) is the full experiment for a
+representative subset of benchmarks; the rendered rows/series are printed
+and written to ``results/bench_*.txt`` so the regenerated numbers are
+inspectable after a ``--benchmark-only`` run.
+
+Scale selection: set ``REPRO_SCALE`` to ``smoke`` (default), ``default``,
+or ``full``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import DEFAULT, FULL, SMOKE
+
+_SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return _SCALES[os.environ.get("REPRO_SCALE", "smoke")]
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"bench_{name}.txt").write_text(text + "\n")

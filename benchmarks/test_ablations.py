@@ -1,0 +1,99 @@
+"""Benchmarks: ablation studies of NoSQ's design choices.
+
+These probe claims the paper makes in prose rather than in a figure:
+load-queue elimination is performance-neutral, the 1KB T-SSBF suffices,
+the confidence policy trades mispredictions for delay, and the hybrid
+path-sensitive table earns its storage.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.harness.ablations import (
+    confidence_ablation,
+    hybrid_ablation,
+    load_queue_ablation,
+    render_confidence,
+    render_hybrid,
+    render_load_queue,
+    render_svw,
+    render_tssbf,
+    svw_ablation,
+    tssbf_ablation,
+)
+from repro.harness.runner import amean
+
+BENCHMARKS = ["g721.e", "mesa.o", "gzip", "vortex", "applu"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_load_queue_elimination(benchmark, scale):
+    points = benchmark.pedantic(
+        load_queue_ablation, args=(BENCHMARKS,), kwargs=dict(scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_lq", render_load_queue(points))
+    # Section 3.4: "the performance of NoSQ with and without a load queue
+    # is identical."
+    for point in points:
+        assert point.relative("nosq-nolq", "nosq-lq48") == pytest.approx(
+            1.0, abs=0.02
+        ), point.name
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_tssbf_capacity(benchmark, scale):
+    points = benchmark.pedantic(
+        tssbf_ablation, args=(BENCHMARKS,), kwargs=dict(scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_tssbf", render_tssbf(points))
+    # Re-execution rates fall monotonically-ish with filter capacity, and
+    # the paper's 128-entry default keeps them tiny.
+    for point in points:
+        assert point.reexec_rate["tssbf-128"] <= point.reexec_rate["tssbf-32"]
+    assert amean(p.reexec_rate["tssbf-128"] for p in points) < 0.05
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_confidence_policy(benchmark, scale):
+    points = benchmark.pedantic(
+        confidence_ablation, args=(BENCHMARKS,), kwargs=dict(scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_confidence", render_confidence(points))
+    # Stickier delay = fewer (or equal) mispredictions on the hard cases.
+    by_name = {p.name: p for p in points}
+    hard = by_name["mesa.o"]
+    assert hard.mispredicts["conf-sticky"] <= hard.mispredicts["conf-eager"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_hybrid_predictor(benchmark, scale):
+    points = benchmark.pedantic(
+        hybrid_ablation, args=(BENCHMARKS,), kwargs=dict(scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_hybrid", render_hybrid(points))
+    # Without path sensitivity, path-dependent loads fall back to delay or
+    # mispredict: aggregate cost must not be negative on average.
+    penalty = amean(
+        p.mispredicts["pred-plain"] + 10 * p.delayed_pct["pred-plain"]
+        - p.mispredicts["pred-hybrid"] - 10 * p.delayed_pct["pred-hybrid"]
+        for p in points
+    )
+    assert penalty > -10.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_svw_filtering_value(benchmark, scale):
+    points = benchmark.pedantic(
+        svw_ablation, args=(BENCHMARKS,), kwargs=dict(scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_svw", render_svw(points))
+    # Unfiltered re-execution must re-execute far more loads; the filter
+    # keeps the rate near zero (paper: 0.7% of loads).
+    for point in points:
+        assert point.reexec_rate["svw-off"] > point.reexec_rate["svw-on"]
+    assert amean(p.reexec_rate["svw-on"] for p in points) < 0.05

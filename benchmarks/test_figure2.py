@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 2 (performance at the 128-entry window).
+
+Execution times of the associative-SQ baseline, NoSQ without and with
+delay, and idealized NoSQ, all relative to the perfect-scheduling baseline.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.harness import geomean, render_figure2
+from repro.harness.figure2 import figure2_series
+
+BENCHMARKS = [
+    "adpcm.d", "g721.e", "gs.d", "mesa.o", "mpeg2.d", "pegwit.e",
+    "bzip2", "eon.k", "gzip", "mcf", "vortex", "vpr.p",
+    "applu", "apsi", "sixtrack", "wupwise",
+]
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2(benchmark, scale):
+    points = benchmark.pedantic(
+        figure2_series,
+        kwargs=dict(benchmarks=BENCHMARKS, scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish("figure2", render_figure2(points))
+
+    # Shape assertions (see DESIGN.md's expectations):
+    # the realistic baseline sits close to the perfect-scheduling one, ...
+    sq = geomean(p.relative["sq-storesets"] for p in points)
+    assert 0.95 < sq < 1.15
+    if scale.measured >= 15_000:
+        # ... idealized SMB beats the realistic baseline on average, ...
+        perfect = geomean(p.relative["nosq-perfect"] for p in points)
+        assert perfect < sq + 0.01
+        # ... and realistic NoSQ lands in the baseline's neighbourhood.
+        nosq = geomean(p.relative["nosq-delay"] for p in points)
+        assert abs(nosq - sq) < 0.12

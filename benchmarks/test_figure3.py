@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 3 (performance at the 256-entry window).
+
+All window resources double, the branch predictor quadruples, the bypassing
+predictor stays fixed -- exposing it to longer distances and path
+signatures.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.harness import render_figure3
+from repro.harness.figure3 import figure3_series
+
+BENCHMARKS = [
+    "g721.e", "gs.d", "mesa.o", "mpeg2.d", "pegwit.e",
+    "eon.k", "gap", "gzip", "perl.s", "vortex", "vpr.p",
+    "applu", "apsi", "sixtrack", "wupwise",
+]
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3(benchmark, scale):
+    points = benchmark.pedantic(
+        figure3_series,
+        kwargs=dict(benchmarks=BENCHMARKS, scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish("figure3", render_figure3(points))
+
+    for point in points:
+        # Everything stays within a sane band of the 256-window baseline.
+        for value in point.relative.values():
+            assert 0.6 < value < 1.6, (point.name, point.relative)

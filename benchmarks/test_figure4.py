@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 4 (data-cache read bandwidth).
+
+NoSQ's data-cache reads relative to the associative-SQ baseline, split into
+out-of-order-core reads and back-end re-execution reads.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.harness import render_figure4
+from repro.harness.figure4 import figure4_series
+from repro.harness.runner import amean
+
+BENCHMARKS = [
+    "g721.e", "gs.d", "mesa.o", "mpeg2.d", "pegwit.e",
+    "eon.k", "gap", "gzip", "perl.s", "vortex", "vpr.p",
+    "applu", "apsi", "sixtrack", "wupwise",
+]
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4(benchmark, scale):
+    points = benchmark.pedantic(
+        figure4_series,
+        kwargs=dict(benchmarks=BENCHMARKS, scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish("figure4", render_figure4(points))
+
+    by_name = {p.name: p for p in points}
+    # Bypass-heavy benchmarks show large read reductions (mesa.o: ~40% in
+    # the paper); low-communication benchmarks show little.
+    assert by_name["mesa.o"].total_relative < 0.9
+    assert by_name["applu"].total_relative > 0.8
+    # The T-SSBF filters nearly all re-executions: the back-end share of
+    # reads is tiny (paper: 0.7% of loads re-execute).
+    assert amean(p.backend_relative for p in points) < 0.05
+    # Average reduction in the right band (paper: ~9%).
+    assert amean(p.total_relative for p in points) < 1.0

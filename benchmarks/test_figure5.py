@@ -1,0 +1,59 @@
+"""Benchmark: regenerate Figure 5 (bypassing-predictor sensitivity).
+
+Top: capacity sweep (512 / 1K / 2K / 4K / unbounded entries).
+Bottom: path-history sweep (4 / 6 / 8 / 10 / 12 bits) with an
+unbounded-capacity overlay.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.harness import geomean, render_figure5
+from repro.harness.figure5 import (
+    figure5_capacity_series,
+    figure5_history_series,
+)
+
+#: A slice spanning the interesting behaviours: path-heavy (eon.k,
+#: sixtrack), capacity-sensitive int (gzip, vortex), and insensitive fp.
+BENCHMARKS = ["g721.e", "mesa.o", "eon.k", "gzip", "vortex", "sixtrack", "applu"]
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_capacity(benchmark, scale):
+    points = benchmark.pedantic(
+        figure5_capacity_series,
+        kwargs=dict(benchmarks=BENCHMARKS, scale=scale),
+        rounds=1, iterations=1,
+    )
+    publish(
+        "figure5_capacity",
+        render_figure5(points, "Figure 5 (top): predictor capacity sweep"),
+    )
+    # The default 2K-entry predictor sits near the unbounded one on average.
+    default = geomean(p.relative["nosq-2048e-8h"] for p in points)
+    unbounded = geomean(p.relative["nosq-inf-8h"] for p in points)
+    assert abs(default - unbounded) < (0.06 if scale.measured >= 15_000 else 0.12)
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_history(benchmark, scale):
+    points = benchmark.pedantic(
+        figure5_history_series,
+        kwargs=dict(benchmarks=BENCHMARKS, scale=scale,
+                    include_unbounded=False),
+        rounds=1, iterations=1,
+    )
+    publish(
+        "figure5_history",
+        render_figure5(points, "Figure 5 (bottom): path-history length sweep"),
+    )
+    # Long-path benchmarks benefit from histories beyond 8 bits.
+    slack = 0.05 if scale.measured >= 15_000 else 0.12
+    by_name = {p.name: p for p in points}
+    for name in ("eon.k", "sixtrack"):
+        point = by_name[name]
+        assert (
+            point.relative["nosq-2048e-12h"]
+            < point.relative["nosq-2048e-4h"] + slack
+        ), name

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Insert the suite-level summaries from results/ into EXPERIMENTS.md.
+
+Replaces the ``<!-- NAME -->`` placeholders with fenced excerpts of the
+rendered result files (suite means/geomeans plus a few headline rows), so
+EXPERIMENTS.md carries the actual measured numbers inline while the full
+tables stay in results/.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+#: placeholder -> (file, row keywords to excerpt)
+EXCERPTS = {
+    "TABLE5": ("table5.txt", ["benchmark", "----", "gzip", "mesa.o", "g721.e",
+                              "sixtrack", "mcf", "adpcm.d",
+                              "media.avg", "int.avg", "fp.avg"]),
+    "FIGURE2": ("figure2.txt", ["benchmark", "----", "g721.e", "mesa.o",
+                                "gzip", "vortex", "mcf", "sixtrack",
+                                "M.gmean", "I.gmean", "F.gmean"]),
+    "FIGURE3": ("figure3.txt", ["benchmark", "----", "g721.e", "mesa.o",
+                                "gzip", "sixtrack",
+                                "M.gmean", "I.gmean", "F.gmean"]),
+    "FIGURE4": ("figure4.txt", ["benchmark", "----", "mesa.o", "gzip",
+                                "vortex", "applu", "mpeg2.d",
+                                "M.amean", "I.amean", "F.amean"]),
+    "FIGURE5CAP": ("figure5_capacity.txt", ["benchmark", "----", "gzip",
+                                            "eon.k", "vortex", "applu",
+                                            "M.gmean", "I.gmean", "F.gmean"]),
+    "FIGURE5HIST": ("figure5_history.txt", ["benchmark", "----", "eon.k",
+                                            "sixtrack", "gzip", "applu",
+                                            "M.gmean", "I.gmean", "F.gmean"]),
+}
+
+
+def excerpt(file_name: str, keywords: list[str]) -> str:
+    lines = (RESULTS / file_name).read_text().splitlines()
+    picked = []
+    for line in lines:
+        head = line.strip().split("  ")[0].strip()
+        for keyword in keywords:
+            if keyword == "----" and set(line.strip()) == {"-"}:
+                picked.append(line)
+                break
+            if head == keyword or line.lstrip().startswith(keyword + " "):
+                picked.append(line)
+                break
+    return "```\n" + "\n".join(picked) + "\n```"
+
+
+def main() -> None:
+    path = ROOT / "EXPERIMENTS.md"
+    text = path.read_text()
+    for name, (file_name, keywords) in EXCERPTS.items():
+        placeholder = f"<!-- {name} -->"
+        if placeholder not in text:
+            raise SystemExit(f"placeholder {placeholder} missing")
+        text = text.replace(placeholder, excerpt(file_name, keywords))
+    path.write_text(text)
+    print("EXPERIMENTS.md filled from results/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper and write the rendered
+text into ``results/``.
+
+One shared sweep of the five standard configurations over all 47 benchmarks
+feeds Table 5, Figure 2, and Figure 4; Figure 3 (256-entry window) and the
+two Figure 5 sweeps run separately on the paper's selected benchmarks.
+
+Usage:  python scripts/run_experiments.py [smoke|default|full]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.harness import (
+    DEFAULT,
+    FULL,
+    SMOKE,
+    figure2_series,
+    figure3_series,
+    figure4_series,
+    figure5_capacity_series,
+    figure5_history_series,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_table5,
+    run_suite,
+    standard_configs,
+)
+from repro.harness.table5 import table5_row
+from repro.workloads.profiles import PROFILES, SELECTED_BENCHMARKS
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def log(message: str) -> None:
+    print(f"[{time.strftime('%H:%M:%S')}] {message}", flush=True)
+
+
+def write(name: str, text: str) -> None:
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / name).write_text(text + "\n")
+    log(f"wrote results/{name}")
+
+
+def main() -> None:
+    scale = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}[
+        sys.argv[1] if len(sys.argv) > 1 else "full"
+    ]
+    log(f"scale={scale.name}: {scale.num_instructions} instructions, "
+        f"{scale.warmup} warmup")
+    start = time.time()
+
+    # One sweep of the five standard configs over all 47 benchmarks.
+    all_benchmarks = list(PROFILES)
+    results = run_suite(
+        all_benchmarks, standard_configs(), scale=scale,
+        progress=lambda name: log(f"  {name}"),
+    )
+
+    rows = [
+        table5_row(name, scale=scale, result=results[name])
+        for name in all_benchmarks
+    ]
+    write("table5.txt", render_table5(rows))
+
+    points = figure2_series(all_benchmarks, scale=scale, results=results)
+    write("figure2.txt", render_figure2(points))
+
+    fig4 = figure4_series(all_benchmarks, scale=scale, results=results)
+    write("figure4.txt", render_figure4(fig4))
+
+    log("figure 3 (256-entry window)")
+    fig3 = figure3_series(SELECTED_BENCHMARKS, scale=scale)
+    write("figure3.txt", render_figure3(fig3))
+
+    log("figure 5 (capacity sweep)")
+    cap = figure5_capacity_series(SELECTED_BENCHMARKS, scale=scale)
+    write(
+        "figure5_capacity.txt",
+        render_figure5(cap, "Figure 5 (top): predictor capacity sweep"),
+    )
+
+    log("figure 5 (history sweep)")
+    hist = figure5_history_series(SELECTED_BENCHMARKS, scale=scale)
+    write(
+        "figure5_history.txt",
+        render_figure5(hist, "Figure 5 (bottom): path-history length sweep"),
+    )
+
+    log(f"done in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

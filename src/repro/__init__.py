@@ -1,0 +1,41 @@
+"""NoSQ: Store-Load Communication without a Store Queue -- reproduction.
+
+A cycle-level Python reproduction of Sha, Martin & Roth, MICRO-39 (2006).
+
+Quick start::
+
+    from repro import MachineConfig, generate_trace, simulate
+
+    trace = generate_trace("gzip", num_instructions=20_000)
+    base = simulate(MachineConfig.conventional(), trace)
+    nosq = simulate(MachineConfig.nosq(), trace)
+    print(base.ipc, nosq.ipc)
+
+Package map:
+
+* :mod:`repro.isa` -- mini-ISA, assembler, functional executor, traces
+* :mod:`repro.memory` -- caches, memory, TLB
+* :mod:`repro.frontend` -- branch prediction, path history
+* :mod:`repro.ooo` -- ROB, rename, issue, load/store queues
+* :mod:`repro.predictors` -- StoreSets, oracles
+* :mod:`repro.core` -- the NoSQ mechanisms (the paper's contribution)
+* :mod:`repro.pipeline` -- machine configs and the cycle-level processor
+* :mod:`repro.workloads` -- benchmark profiles, generator, programs
+* :mod:`repro.harness` -- Table 5 / Figures 2-5 regeneration
+"""
+
+from repro.pipeline import MachineConfig, Processor, RunStats, simulate
+from repro.workloads import generate_trace, profile, PROFILES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "Processor",
+    "RunStats",
+    "simulate",
+    "generate_trace",
+    "profile",
+    "PROFILES",
+    "__version__",
+]

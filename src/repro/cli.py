@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run gzip                       # one benchmark, 4 configs
+    python -m repro run gzip -n 60000 --seed 3
+    python -m repro compare gzip vortex applu      # several benchmarks
+    python -m repro table5 gzip mesa.o             # Table 5 rows
+    python -m repro figure2 gzip applu             # Figure 2 bars
+    python -m repro list                           # available benchmarks
+    python -m repro program stack_spill            # run a mini-ISA program
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.harness import (
+    ExperimentScale,
+    render_figure2,
+    render_table5,
+)
+from repro.harness.figure2 import figure2_series
+from repro.harness.report import render_table
+from repro.harness.table5 import table5_rows
+from repro.pipeline import MachineConfig, simulate
+from repro.workloads import PROFILES, generate_trace, profile, programs
+
+
+def _scale(args) -> ExperimentScale:
+    return ExperimentScale(
+        "cli", num_instructions=args.instructions, warmup=args.warmup
+    )
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-n", "--instructions", type=int, default=30_000,
+        help="trace length (default 30000)",
+    )
+    parser.add_argument(
+        "-w", "--warmup", type=int, default=None,
+        help="warmup instructions excluded from stats (default n/2)",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+
+
+def _resolve_warmup(args) -> None:
+    if args.warmup is None:
+        args.warmup = args.instructions // 2
+
+
+def cmd_list(args) -> int:
+    rows = [
+        [p.name, p.suite, f"{p.comm_pct:.1f}", f"{p.partial_pct:.1f}",
+         f"{p.base_ipc:.2f}"]
+        for p in PROFILES.values()
+    ]
+    print(render_table(
+        ["benchmark", "suite", "comm%", "partial%", "paper IPC"], rows,
+        title="Available benchmark profiles (Table 5 of the paper)",
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    _resolve_warmup(args)
+    trace = generate_trace(args.benchmark, args.instructions, seed=args.seed)
+    configs = [
+        MachineConfig.conventional(perfect_scheduling=True),
+        MachineConfig.conventional(),
+        MachineConfig.nosq(delay=False),
+        MachineConfig.nosq(),
+    ]
+    results = {
+        config.name: simulate(config, trace, warmup=args.warmup)
+        for config in configs
+    }
+    baseline = results["sq-perfect"]
+    rows = []
+    for name, stats in results.items():
+        rows.append([
+            name, f"{stats.ipc:.2f}",
+            f"{stats.cycles / baseline.cycles:.3f}",
+            f"{stats.pct_loads_bypassed:.1f}%",
+            f"{stats.pct_loads_delayed:.1f}%",
+            f"{stats.mispredicts_per_10k_loads:.1f}",
+            stats.reexecuted_loads, stats.flushes,
+        ])
+    print(render_table(
+        ["config", "IPC", "rel.time", "bypassed", "delayed",
+         "mispred/10k", "reexec", "flushes"],
+        rows,
+        title=f"{args.benchmark}: {args.instructions} instructions "
+              f"({args.warmup} warmup)",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    _resolve_warmup(args)
+    rows = []
+    for name in args.benchmarks:
+        trace = generate_trace(name, args.instructions, seed=args.seed)
+        baseline = simulate(
+            MachineConfig.conventional(), trace, warmup=args.warmup
+        )
+        nosq = simulate(MachineConfig.nosq(), trace, warmup=args.warmup)
+        rows.append([
+            name, f"{baseline.ipc:.2f}", f"{nosq.ipc:.2f}",
+            f"{nosq.cycles / baseline.cycles:.3f}",
+            f"{nosq.pct_loads_bypassed:.1f}%",
+            f"{nosq.mispredicts_per_10k_loads:.1f}",
+            f"{nosq.total_dcache_reads / max(1, baseline.total_dcache_reads):.3f}",
+        ])
+    print(render_table(
+        ["benchmark", "SQ IPC", "NoSQ IPC", "NoSQ rel.time", "bypassed",
+         "mispred/10k", "D$ reads rel."],
+        rows,
+        title="NoSQ vs associative store queue",
+    ))
+    return 0
+
+
+def cmd_table5(args) -> int:
+    _resolve_warmup(args)
+    scale = _scale(args)
+    names = args.benchmarks or list(PROFILES)
+    print(render_table5(table5_rows(names, scale=scale, seed=args.seed)))
+    return 0
+
+
+def cmd_figure2(args) -> int:
+    _resolve_warmup(args)
+    scale = _scale(args)
+    names = args.benchmarks or list(PROFILES)
+    print(render_figure2(figure2_series(names, scale=scale, seed=args.seed)))
+    return 0
+
+
+def cmd_program(args) -> int:
+    builders = {p.name: p for p in programs.all_programs()}
+    if args.name not in builders:
+        print(f"unknown program {args.name!r}; available: "
+              f"{', '.join(sorted(builders))}", file=sys.stderr)
+        return 1
+    program = builders[args.name]
+    result = programs.build_trace(program)
+    print(f"{program.name}: {program.description}")
+    print(f"{len(result.trace)} dynamic instructions, halted={result.halted}")
+    for config in (MachineConfig.conventional(), MachineConfig.nosq()):
+        stats = simulate(config, result.trace)
+        print(
+            f"  {config.name:14s} IPC {stats.ipc:.2f}  "
+            f"bypassed {stats.bypassed_loads}  delayed {stats.delayed_loads}  "
+            f"flushes {stats.flushes}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NoSQ (MICRO 2006) reproduction: cycle-level simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark profiles").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one benchmark on all configs")
+    run.add_argument("benchmark", choices=sorted(PROFILES))
+    _add_scale_args(run)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="NoSQ vs baseline on benchmarks")
+    compare.add_argument("benchmarks", nargs="+", choices=sorted(PROFILES))
+    _add_scale_args(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    table5 = sub.add_parser("table5", help="regenerate Table 5 rows")
+    table5.add_argument("benchmarks", nargs="*", choices=sorted(PROFILES))
+    _add_scale_args(table5)
+    table5.set_defaults(func=cmd_table5)
+
+    figure2 = sub.add_parser("figure2", help="regenerate Figure 2 bars")
+    figure2.add_argument("benchmarks", nargs="*", choices=sorted(PROFILES))
+    _add_scale_args(figure2)
+    figure2.set_defaults(func=cmd_figure2)
+
+    program = sub.add_parser("program", help="run a mini-ISA example program")
+    program.add_argument("name")
+    program.set_defaults(func=cmd_program)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""The in-order back-end commit pipeline (Section 3.4, Tables 2 and 4).
+
+The conventional baseline back end has 6 stages (setup, SVW, 3x data cache,
+commit).  NoSQ extends it to 8 (setup, 2x register read, agen/SVW, 3x data
+cache, commit): with no store queue, stores read their base address and data
+from the register file and generate their addresses "just in time" before
+the SVW and data-cache-write stages, and the same ports/adders (re)generate
+load addresses so the load queue can be eliminated too.
+
+Timing consequences modelled here:
+
+* one data-cache write port shared, in commit order, between store commits
+  and load re-executions (contention delays both);
+* a store's write becomes visible in the cache only after it traverses the
+  back end (entry + dcache-stage offset + port contention) -- the window in
+  which a too-early cache read by a younger load is stale;
+* a verification flush is detected a full back-end depth after the load
+  enters the pipeline, so NoSQ's longer back end raises its mis-speculation
+  penalty;
+* store-commit TLB translation occupies the shared TLB port; bypassed loads
+  that re-execute borrow it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.tlb import TLB
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Shape of the in-order back end."""
+
+    depth: int           # total stages from commit-entry to final commit
+    dcache_offset: int   # stages from entry to the data-cache access stage
+
+    @staticmethod
+    def conventional() -> "BackendConfig":
+        """1 setup, 1 SVW, 3 data cache, 1 commit."""
+        return BackendConfig(depth=6, dcache_offset=2)
+
+    @staticmethod
+    def nosq() -> "BackendConfig":
+        """1 setup, 2 register read, 1 agen/SVW, 3 data cache, 1 commit."""
+        return BackendConfig(depth=8, dcache_offset=4)
+
+
+@dataclass
+class CommitPipelineStats:
+    store_commits: int = 0
+    reexec_reads: int = 0
+    port_conflict_cycles: int = 0
+    tlb_stall_cycles: int = 0
+
+
+class CommitPipeline:
+    """Books the shared back-end data-cache port and tracks visibility."""
+
+    def __init__(
+        self,
+        config: BackendConfig,
+        hierarchy: MemoryHierarchy,
+        tlb: TLB,
+        translate_stores: bool = True,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.tlb = tlb
+        #: NoSQ translates store addresses in the back end (they were never
+        #: translated out-of-order); the conventional baseline translated at
+        #: execute and commits with physical addresses.
+        self.translate_stores = translate_stores
+        self.stats = CommitPipelineStats()
+        self._port_free = 0  # next cycle the D$ write port is free
+
+    def _book_port(self, earliest: int) -> int:
+        slot = max(earliest, self._port_free)
+        self.stats.port_conflict_cycles += slot - earliest
+        self._port_free = slot + 1
+        return slot
+
+    def store_commit(self, entry_cycle: int, addr: int, size: int) -> int:
+        """A store enters the back end at *entry_cycle*; write the cache.
+
+        Returns the cycle at which the store's value is visible to cache
+        reads.
+        """
+        self.stats.store_commits += 1
+        tlb_penalty = 0
+        if self.translate_stores:
+            tlb_penalty = self.tlb.access(addr)
+            self.stats.tlb_stall_cycles += tlb_penalty
+        slot = self._book_port(entry_cycle + self.config.dcache_offset + tlb_penalty)
+        self.hierarchy.write(addr)
+        return slot + 1
+
+    def load_reexec(self, entry_cycle: int, addr: int, translate: bool = False) -> int:
+        """Re-execute a load in the back end (borrowing the store port).
+
+        ``translate`` is True for bypassed loads, whose addresses were never
+        translated out-of-order ("address translation bandwidth for bypassed
+        loads that must re-execute is provided by the store TLB port").
+        Returns the cycle the re-executed value is available for the commit
+        comparison.
+        """
+        self.stats.reexec_reads += 1
+        tlb_penalty = 0
+        if translate:
+            tlb_penalty = self.tlb.access(addr)
+            self.stats.tlb_stall_cycles += tlb_penalty
+        slot = self._book_port(entry_cycle + self.config.dcache_offset + tlb_penalty)
+        self.hierarchy.read(addr)
+        return slot + 1
+
+    def flush_detect_cycle(self, entry_cycle: int) -> int:
+        """Cycle at which a verification mismatch is detected for a load
+        that entered the back end at *entry_cycle*."""
+        return entry_cycle + self.config.depth
+
+    @property
+    def backend_dcache_reads(self) -> int:
+        return self.stats.reexec_reads

@@ -1,0 +1,153 @@
+"""Store sequence Bloom filters (Sections 2.2, 3.4, 3.5).
+
+The SVW filter tracks, per (hashed) address, the SSN of the youngest
+committed store to write there.
+
+* :class:`UntaggedSSBF` is the original direct-mapped, untagged design: safe
+  only for *inequality* tests (aliasing can only cause spurious
+  re-executions, never missed ones).
+* :class:`TaggedSSBF` (T-SSBF) adds tags with FIFO sets, enabling the
+  *equality* test NoSQ's bypassed loads need ("equality tests ... are unsafe
+  in the presence of aliasing, necessitating tags").  Each entry also holds
+  the store's low-order address bits and access size so that partial-word
+  shift predictions can be verified without replay (Section 3.5).  Per the
+  paper's configuration each entry is 8 bytes: a 20-bit SSN, 3-bit offset,
+  3-bit size, and a 38-bit tag; 128 entries, 4-way.
+
+Both filters track addresses at 8-byte-word granularity.  On a tag miss the
+T-SSBF cannot prove the load safe against stores whose entries were evicted,
+so each set maintains the maximum SSN it ever evicted; the inequality test
+compares against this watermark, keeping the filter conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_WORD_SHIFT = 3  # 8-byte filter granularity
+
+
+@dataclass(slots=True)
+class SSBFEntry:
+    ssn: int
+    offset: int  # store address low-order bits within the word
+    size: int    # store access size in bytes
+
+    @property
+    def store_range(self) -> tuple[int, int]:
+        """(start, end) byte offsets of the store within its word."""
+        return self.offset, self.offset + self.size
+
+
+def _words_touched(addr: int, size: int) -> range:
+    first = addr >> _WORD_SHIFT
+    last = (addr + size - 1) >> _WORD_SHIFT
+    return range(first, last + 1)
+
+
+class TaggedSSBF:
+    """Tagged, set-associative SSBF with FIFO replacement per set."""
+
+    def __init__(self, entries: int = 128, assoc: int = 4) -> None:
+        if entries % assoc:
+            raise ValueError("entries must be a multiple of associativity")
+        self.num_sets = entries // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.assoc = assoc
+        self._sets: list[dict[int, SSBFEntry]] = [dict() for _ in range(self.num_sets)]
+        #: per-set maximum SSN ever evicted (conservative watermark).
+        self._evicted: list[int] = [0] * self.num_sets
+        self.updates = 0
+        self.lookups = 0
+
+    def _locate(self, word: int) -> tuple[int, int]:
+        index = word & (self.num_sets - 1)
+        tag = word >> (self.num_sets.bit_length() - 1)
+        return index, tag
+
+    def update(self, addr: int, size: int, ssn: int) -> None:
+        """Record a committing store (SVW stage of the back-end pipeline)."""
+        self.updates += 1
+        for word in _words_touched(addr, size):
+            index, tag = self._locate(word)
+            entries = self._sets[index]
+            offset = max(0, addr - (word << _WORD_SHIFT))
+            end = min(addr + size, (word + 1) << _WORD_SHIFT)
+            entry = entries.get(tag)
+            if entry is not None:
+                entry.ssn = ssn
+                entry.offset = offset
+                entry.size = end - max(addr, word << _WORD_SHIFT)
+                continue
+            if len(entries) >= self.assoc:
+                victim_tag = next(iter(entries))
+                victim = entries.pop(victim_tag)
+                if victim.ssn > self._evicted[index]:
+                    self._evicted[index] = victim.ssn
+            entries[tag] = SSBFEntry(
+                ssn=ssn,
+                offset=offset,
+                size=end - max(addr, word << _WORD_SHIFT),
+            )
+
+    def lookup(self, addr: int) -> SSBFEntry | None:
+        """Look up the word containing *addr*; None on tag miss."""
+        self.lookups += 1
+        index, tag = self._locate(addr >> _WORD_SHIFT)
+        return self._sets[index].get(tag)
+
+    def evicted_watermark(self, addr: int) -> int:
+        """Max SSN evicted from the set covering *addr* (0 if none)."""
+        index, _ = self._locate(addr >> _WORD_SHIFT)
+        return self._evicted[index]
+
+    def youngest_store_ssn(self, addr: int, size: int) -> int:
+        """Conservative upper bound on the SSN of the youngest committed
+        store overlapping [addr, addr+size): the max over touched words of
+        the entry SSN or eviction watermark."""
+        youngest = 0
+        for word in _words_touched(addr, size):
+            index, tag = self._locate(word)
+            entry = self._sets[index].get(tag)
+            if entry is not None:
+                youngest = max(youngest, entry.ssn)
+            youngest = max(youngest, self._evicted[index])
+        return youngest
+
+    def clear(self) -> None:
+        """Full clear (SSN wraparound drain)."""
+        for entries in self._sets:
+            entries.clear()
+        self._evicted = [0] * self.num_sets
+
+
+class UntaggedSSBF:
+    """The original direct-mapped untagged SSBF (inequality tests only)."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entry count must be a power of two")
+        self.entries = entries
+        self._ssns = [0] * entries
+        self.updates = 0
+        self.lookups = 0
+
+    def _index(self, word: int) -> int:
+        return word & (self.entries - 1)
+
+    def update(self, addr: int, size: int, ssn: int) -> None:
+        self.updates += 1
+        for word in _words_touched(addr, size):
+            index = self._index(word)
+            if ssn > self._ssns[index]:
+                self._ssns[index] = ssn
+
+    def youngest_store_ssn(self, addr: int, size: int) -> int:
+        self.lookups += 1
+        return max(
+            self._ssns[self._index(word)] for word in _words_touched(addr, size)
+        )
+
+    def clear(self) -> None:
+        self._ssns = [0] * self.entries

@@ -1,0 +1,76 @@
+"""Store sequence numbers (Section 2).
+
+All dynamic stores are assigned monotonically increasing SSNs at rename.
+``SSNrename`` tracks the most recently renamed store, ``SSNcommit`` the most
+recently committed one; their difference is the in-flight store count.  SSNs
+are the naming scheme underlying the SVW filter and NoSQ's distance-based
+dependence representation.
+
+SSNs are finite (20 bits in the paper).  "In the rare situations in which
+SSNs wrap around, the processor drains its pipeline and clears all hardware
+structures that hold SSNs."  :class:`SSNCounters` signals the caller when a
+drain is required; the timing model charges the drain and clears the T-SSBF
+and SRQ.
+"""
+
+from __future__ import annotations
+
+
+class SSNCounters:
+    """The SSNrename / SSNcommit counter pair.
+
+    SSN 0 is reserved as "before all traced stores" so that a load whose
+    value comes from pre-existing memory has a well-defined SSNnvul of 0.
+    """
+
+    def __init__(self, bits: int = 20) -> None:
+        if bits < 4:
+            raise ValueError("SSNs need at least 4 bits")
+        self.bits = bits
+        self.limit = 1 << bits
+        self.rename = 0
+        self.commit = 0
+        self.wraps = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Occupancy a store queue would have (SSNrename - SSNcommit)."""
+        return self.rename - self.commit
+
+    def next_rename(self) -> tuple[int, bool]:
+        """Assign the next SSN at rename.
+
+        Returns ``(ssn, wrapped)``.  ``wrapped`` is True when the counter
+        wrapped around, in which case the caller must drain the pipeline and
+        clear SSN-holding structures before using the new SSN.
+        """
+        wrapped = False
+        if self.rename + 1 >= self.limit:
+            # Renumber from 1: conceptually a full drain leaves zero
+            # in-flight stores, and all recorded SSNs are invalidated.
+            self.rename = 0
+            self.commit = 0
+            self.wraps += 1
+            wrapped = True
+        self.rename += 1
+        return self.rename, wrapped
+
+    def advance_commit(self) -> int:
+        """Commit the oldest in-flight store; returns its SSN."""
+        if self.commit >= self.rename:
+            raise RuntimeError("SSNcommit would pass SSNrename")
+        self.commit += 1
+        return self.commit
+
+    def squash_to(self, ssn: int) -> None:
+        """Roll SSNrename back to *ssn* (verification flush recovery)."""
+        if ssn < self.commit or ssn > self.rename:
+            raise ValueError(
+                f"cannot roll back SSNrename to {ssn} "
+                f"(commit={self.commit}, rename={self.rename})"
+            )
+        self.rename = ssn
+
+    def reset(self) -> None:
+        self.rename = 0
+        self.commit = 0

@@ -1,0 +1,106 @@
+"""SVW re-execution filtering with SMB-aware tests (Section 3.4).
+
+Both bypassed and non-bypassed loads share the same T-SSBF but apply
+different tests before commit:
+
+* **non-bypassing loads** use the *inequality* test: re-execute only if some
+  store younger than ``SSNnvul`` (the youngest store the load is known not
+  to be vulnerable to -- ``SSNcommit`` at the time the load executed) has
+  since committed a write to the load's address;
+
+* **bypassed loads** use the *equality* test: skip re-execution only when
+  the last committed store to the load's address is exactly the predicted
+  bypassing store (``SSNnvul = SSNbyp``).  The entry's recorded offset and
+  size additionally verify -- without replay -- that the predicted shift
+  amount was correct and that the store covered every byte the load reads
+  (Section 3.5).
+
+A shift/coverage mismatch on an SSN-matching entry proves the bypassed value
+wrong with no cache access at all; the verdict distinguishes it so the
+pipeline can flush directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.ssbf import TaggedSSBF
+
+
+class BypassVerdict(enum.Enum):
+    """Outcome of the SVW stage for a bypassed load."""
+
+    SKIP = "skip"                      # verified: commit without re-execution
+    REEXEC = "reexec"                  # filter cannot prove; re-execute
+    TRANSFORM_MISMATCH = "mismatch"    # proven wrong (shift/coverage); flush
+
+
+@dataclass
+class SVWStats:
+    nonbypassing_tests: int = 0
+    nonbypassing_reexecs: int = 0
+    bypassing_tests: int = 0
+    bypassing_reexecs: int = 0
+    bypassing_mismatches: int = 0
+
+    @property
+    def reexecs(self) -> int:
+        return self.nonbypassing_reexecs + self.bypassing_reexecs
+
+    @property
+    def tests(self) -> int:
+        return self.nonbypassing_tests + self.bypassing_tests
+
+
+class SVWFilter:
+    """The SVW stage of the back-end pipeline."""
+
+    def __init__(self, ssbf: TaggedSSBF) -> None:
+        self.ssbf = ssbf
+        self.stats = SVWStats()
+
+    def store_commit(self, addr: int, size: int, ssn: int) -> None:
+        """T-SSBF update as the store passes the SVW stage."""
+        self.ssbf.update(addr, size, ssn)
+
+    def test_nonbypassing(self, addr: int, size: int, ssn_nvul: int) -> bool:
+        """Inequality test; returns True if the load must re-execute."""
+        self.stats.nonbypassing_tests += 1
+        reexec = self.ssbf.youngest_store_ssn(addr, size) > ssn_nvul
+        if reexec:
+            self.stats.nonbypassing_reexecs += 1
+        return reexec
+
+    def test_bypassing(
+        self,
+        addr: int,
+        size: int,
+        ssn_byp: int,
+        predicted_shift: int,
+    ) -> BypassVerdict:
+        """Equality test with replay-free shift verification."""
+        self.stats.bypassing_tests += 1
+        if (addr >> 3) != ((addr + size - 1) >> 3):
+            # A load spanning filter words cannot be proven by a single
+            # entry; re-execute conservatively (aligned accesses never span).
+            self.stats.bypassing_reexecs += 1
+            return BypassVerdict.REEXEC
+        entry = self.ssbf.lookup(addr)
+        if entry is None or entry.ssn != ssn_byp:
+            self.stats.bypassing_reexecs += 1
+            return BypassVerdict.REEXEC
+        # The predicted store was indeed the last committed writer of this
+        # word.  Verify shift and coverage from the entry's offset/size.
+        word_base = (addr >> 3) << 3
+        store_start = word_base + entry.offset
+        store_end = store_start + entry.size
+        load_start, load_end = addr, addr + size
+        if load_start < store_start or load_end > store_end:
+            self.stats.bypassing_mismatches += 1
+            return BypassVerdict.TRANSFORM_MISMATCH
+        actual_shift = load_start - store_start
+        if actual_shift != predicted_shift:
+            self.stats.bypassing_mismatches += 1
+            return BypassVerdict.TRANSFORM_MISMATCH
+        return BypassVerdict.SKIP

@@ -1,0 +1,27 @@
+"""Front-end substrate: branch prediction and path history.
+
+The simulated front end (Section 4.1) predicts two branches per cycle and can
+fetch past one taken branch.  It uses a 12k-entry hybrid gshare/bimodal
+predictor, a 2k-entry 4-way set-associative branch target buffer, and a
+32-entry return address stack.
+
+Path history (branch direction bits plus two bits of each call PC) feeds the
+indexing function of NoSQ's path-sensitive bypassing predictor (Section 3.3).
+"""
+
+from repro.frontend.branch_predictor import (
+    BranchPredictorStats,
+    BTB,
+    HybridBranchPredictor,
+    ReturnAddressStack,
+)
+from repro.frontend.path_history import PathHistory, compute_path_history
+
+__all__ = [
+    "BranchPredictorStats",
+    "BTB",
+    "HybridBranchPredictor",
+    "ReturnAddressStack",
+    "PathHistory",
+    "compute_path_history",
+]

@@ -1,0 +1,136 @@
+"""Benchmark x configuration sweep machinery.
+
+A :class:`BenchmarkResult` bundles the trace-level ground truth with the
+:class:`~repro.pipeline.stats.RunStats` of each simulated configuration;
+the per-table/figure modules turn collections of results into the paper's
+rows and series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.isa.trace import DynInst, TraceStats, communication_stats
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import Processor
+from repro.pipeline.stats import RunStats
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import profile
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How much work each simulated benchmark does.
+
+    The paper simulates millions of instructions per benchmark; these scales
+    trade fidelity for tractable Python runtimes.  Warmup instructions run
+    with all microarchitectural state live but are excluded from statistics
+    (the paper's warmed sampling).
+    """
+
+    name: str
+    num_instructions: int
+    warmup: int
+
+    @property
+    def measured(self) -> int:
+        return self.num_instructions - self.warmup
+
+
+#: Seconds-per-benchmark scale for tests and pytest-benchmark runs.
+SMOKE = ExperimentScale("smoke", num_instructions=8_000, warmup=3_000)
+#: Default scale for the examples.
+DEFAULT = ExperimentScale("default", num_instructions=30_000, warmup=12_000)
+#: The scale used for EXPERIMENTS.md.
+FULL = ExperimentScale("full", num_instructions=60_000, warmup=30_000)
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything measured for one benchmark at one scale."""
+
+    name: str
+    scale: ExperimentScale
+    trace_stats: TraceStats
+    runs: dict[str, RunStats] = field(default_factory=dict)
+
+    def relative_time(self, config_name: str, baseline_name: str) -> float:
+        """Execution time of one configuration relative to another."""
+        baseline = self.runs[baseline_name]
+        run = self.runs[config_name]
+        if baseline.cycles == 0:
+            raise ValueError(f"baseline {baseline_name!r} ran zero cycles")
+        return run.cycles / baseline.cycles
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's suite summary statistic)."""
+    values = list(values)
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def amean(values: Iterable[float]) -> float:
+    """Arithmetic mean (used by Figure 4 and Table 5 averages)."""
+    values = list(values)
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def make_trace(name: str, scale: ExperimentScale, seed: int = 17) -> list[DynInst]:
+    """Generate the annotated trace for *name* at *scale*."""
+    workload = SyntheticWorkload(profile(name), seed=seed)
+    return workload.generate(scale.num_instructions)
+
+
+def run_benchmark(
+    name: str,
+    configs: Sequence[MachineConfig],
+    scale: ExperimentScale = DEFAULT,
+    seed: int = 17,
+    trace: list[DynInst] | None = None,
+) -> BenchmarkResult:
+    """Run *name* through every configuration on one shared trace."""
+    if trace is None:
+        trace = make_trace(name, scale, seed)
+    result = BenchmarkResult(
+        name=name,
+        scale=scale,
+        trace_stats=communication_stats(trace),
+    )
+    for config in configs:
+        stats = Processor(config).run(trace, warmup=scale.warmup)
+        result.runs[config.name] = stats
+    return result
+
+
+def run_suite(
+    benchmarks: Sequence[str],
+    configs: Sequence[MachineConfig],
+    scale: ExperimentScale = DEFAULT,
+    seed: int = 17,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, BenchmarkResult]:
+    """Run a list of benchmarks through a list of configurations."""
+    results: dict[str, BenchmarkResult] = {}
+    for name in benchmarks:
+        if progress is not None:
+            progress(name)
+        results[name] = run_benchmark(name, configs, scale=scale, seed=seed)
+    return results
+
+
+def standard_configs(window: int = 128) -> list[MachineConfig]:
+    """The four configurations of Figures 2 and 3, plus the normalization
+    baseline (associative SQ + perfect scheduling)."""
+    return [
+        MachineConfig.conventional(window=window, perfect_scheduling=True),
+        MachineConfig.conventional(window=window),
+        MachineConfig.nosq(window=window, delay=False),
+        MachineConfig.nosq(window=window, delay=True),
+        MachineConfig.nosq(window=window, perfect=True),
+    ]

@@ -1,0 +1,178 @@
+"""A tiny two-pass text assembler for the mini-ISA.
+
+Syntax::
+
+    loop:                       ; labels end with a colon
+        lw   r1, 0(r2)          ; load word, displacement(base)
+        add  r3, r3, r1
+        addi r2, r2, 4
+        bne  r2, r4, loop       ; branch to a label
+        jal  ra, func           ; call
+        sb   r3, 8(sp)          ; store: data register first
+        halt
+
+Comments start with ``;`` or ``#``.  Instruction addresses are assigned
+sequentially, four bytes apart, starting at :data:`TEXT_BASE`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import Instruction, Register
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    CALL_OPS,
+    LOAD_OPS,
+    Opcode,
+    STORE_OPS,
+)
+
+#: Base address of the instruction stream.
+TEXT_BASE = 0x1000
+#: Instruction size in bytes.
+INST_BYTES = 4
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+def _tokenize(line: str) -> list[str]:
+    line = re.split(r"[;#]", line, maxsplit=1)[0].strip()
+    if not line:
+        return []
+    head, _, rest = line.partition(" ")
+    tokens = [head.strip()]
+    if rest.strip():
+        tokens.extend(t.strip() for t in rest.split(","))
+    return tokens
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad integer literal: {text!r}") from exc
+
+
+def assemble(source: str, base: int = TEXT_BASE) -> list[Instruction]:
+    """Assemble *source* into a list of static instructions.
+
+    Raises :class:`AssemblerError` on syntax errors or undefined labels.
+    """
+    # Pass 1: collect labels.
+    labels: dict[str, int] = {}
+    lines: list[tuple[int, list[str]]] = []
+    pc = base
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        stripped = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        if not stripped:
+            continue
+        while stripped and ":" in stripped.split()[0]:
+            label, _, stripped = stripped.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = pc
+            stripped = stripped.strip()
+        if stripped:
+            lines.append((lineno, _tokenize(stripped)))
+            pc += INST_BYTES
+
+    # Pass 2: encode.
+    program: list[Instruction] = []
+    pc = base
+    for lineno, tokens in lines:
+        mnemonic, operands = tokens[0].lower(), tokens[1:]
+        opcode = _OPCODES_BY_NAME.get(mnemonic)
+        if opcode is None:
+            raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+        try:
+            inst = _encode(opcode, operands, labels)
+        except (AssemblerError, ValueError) as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+        inst.pc = pc
+        program.append(inst)
+        pc += INST_BYTES
+    return program
+
+
+def _target(operand: str, labels: dict[str, int]) -> int:
+    if operand in labels:
+        return labels[operand]
+    return _parse_int(operand)
+
+
+def _mem_operand(operand: str) -> tuple[int, int]:
+    """Parse ``disp(base)`` into (displacement, base register)."""
+    match = _MEM_OPERAND.match(operand.replace(" ", ""))
+    if not match:
+        raise AssemblerError(f"bad memory operand: {operand!r}")
+    return _parse_int(match.group(1)), Register.parse(match.group(2))
+
+
+def _encode(opcode: Opcode, ops: list[str], labels: dict[str, int]) -> Instruction:
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AssemblerError(
+                f"{opcode.value} expects {count} operands, got {len(ops)}"
+            )
+
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        need(0)
+        return Instruction(opcode)
+    if opcode is Opcode.RET:
+        need(0)
+        return Instruction(opcode, rs1=Register.parse("ra"))
+    if opcode in LOAD_OPS:
+        need(2)
+        disp, base_reg = _mem_operand(ops[1])
+        return Instruction(opcode, rd=Register.parse(ops[0]), rs1=base_reg, imm=disp)
+    if opcode in STORE_OPS:
+        need(2)
+        disp, base_reg = _mem_operand(ops[1])
+        return Instruction(opcode, rs2=Register.parse(ops[0]), rs1=base_reg, imm=disp)
+    if opcode in BRANCH_OPS:
+        need(3)
+        return Instruction(
+            opcode,
+            rs1=Register.parse(ops[0]),
+            rs2=Register.parse(ops[1]),
+            imm=_target(ops[2], labels),
+        )
+    if opcode is Opcode.JAL:
+        need(2)
+        return Instruction(opcode, rd=Register.parse(ops[0]), imm=_target(ops[1], labels))
+    if opcode is Opcode.JALR:
+        need(2)
+        return Instruction(opcode, rd=Register.parse(ops[0]), rs1=Register.parse(ops[1]))
+    if opcode is Opcode.LUI:
+        need(2)
+        return Instruction(opcode, rd=Register.parse(ops[0]), imm=_parse_int(ops[1]))
+    if opcode in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                  Opcode.SLLI, Opcode.SRLI):
+        need(3)
+        return Instruction(
+            opcode,
+            rd=Register.parse(ops[0]),
+            rs1=Register.parse(ops[1]),
+            imm=_parse_int(ops[2]),
+        )
+    if opcode is Opcode.FCVT:
+        need(2)
+        return Instruction(opcode, rd=Register.parse(ops[0]), rs1=Register.parse(ops[1]))
+    # Remaining R-type ALU and FP operations.
+    need(3)
+    return Instruction(
+        opcode,
+        rd=Register.parse(ops[0]),
+        rs1=Register.parse(ops[1]),
+        rs2=Register.parse(ops[2]),
+    )

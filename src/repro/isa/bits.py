@@ -1,0 +1,106 @@
+"""Bit-manipulation helpers shared by the functional executor and by
+NoSQ's partial-word bypassing support (Section 3.5).
+
+All integer register values are represented as unsigned 64-bit Python ints;
+these helpers implement the implicit mask / shift / sign-extend / FP-convert
+transformations a partial-word store-load pair performs.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+WORD_BITS = 64
+WORD_BYTES = 8
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def mask(size: int) -> int:
+    """All-ones mask covering *size* bytes."""
+    return (1 << (8 * size)) - 1
+
+
+def truncate(value: int, size: int = WORD_BYTES) -> int:
+    """Truncate *value* to the low-order *size* bytes (a store's implicit mask)."""
+    return value & mask(size)
+
+
+def sign_extend(value: int, size: int) -> int:
+    """Sign-extend the low *size* bytes of *value* to 64 bits (unsigned repr)."""
+    value = truncate(value, size)
+    sign_bit = 1 << (8 * size - 1)
+    if value & sign_bit:
+        return (value - (1 << (8 * size))) & WORD_MASK
+    return value
+
+
+def zero_extend(value: int, size: int) -> int:
+    """Zero-extend the low *size* bytes of *value* to 64 bits."""
+    return truncate(value, size)
+
+
+def to_signed(value: int, size: int = WORD_BYTES) -> int:
+    """Reinterpret an unsigned *size*-byte value as a signed Python int."""
+    value = truncate(value, size)
+    sign_bit = 1 << (8 * size - 1)
+    if value & sign_bit:
+        return value - (1 << (8 * size))
+    return value
+
+
+def to_unsigned(value: int, size: int = WORD_BYTES) -> int:
+    """Reinterpret a (possibly negative) Python int as *size*-byte unsigned."""
+    return value & mask(size)
+
+
+def extract_bytes(value: int, shift: int, size: int) -> int:
+    """Extract *size* bytes starting *shift* bytes into *value*.
+
+    This is the core shift-and-mask operation NoSQ injects for partial-word
+    bypassing: a narrow load reading at byte offset *shift* of a wider
+    store's value.
+    """
+    return (value >> (8 * shift)) & mask(size)
+
+
+def double_to_bits(value: float) -> int:
+    """IEEE754 double -> 64-bit pattern (in-register FP representation)."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_double(pattern: int) -> float:
+    """64-bit pattern -> IEEE754 double."""
+    return struct.unpack("<d", struct.pack("<Q", pattern & WORD_MASK))[0]
+
+
+def single_to_bits(value: float) -> int:
+    """IEEE754 single -> 32-bit pattern (in-memory ``sts`` representation).
+
+    Values that overflow single precision become infinities, as hardware
+    conversion would produce.
+    """
+    if math.isnan(value):
+        return struct.unpack("<I", struct.pack("<f", math.nan))[0]
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        sign = 0x8000_0000 if value < 0 else 0
+        return sign | 0x7F80_0000  # +/- infinity
+
+
+def bits_to_single(pattern: int) -> float:
+    """32-bit pattern -> float (value of an in-memory single)."""
+    return struct.unpack("<f", struct.pack("<I", pattern & 0xFFFF_FFFF))[0]
+
+
+def single_bits_to_double_bits(pattern: int) -> int:
+    """The ``lds`` transformation: 32-bit single pattern in memory to the
+    64-bit in-register representation (here: the equivalent double)."""
+    return double_to_bits(bits_to_single(pattern))
+
+
+def double_bits_to_single_bits(pattern: int) -> int:
+    """The ``sts`` transformation: 64-bit in-register representation to the
+    32-bit in-memory single pattern."""
+    return single_to_bits(bits_to_double(pattern))

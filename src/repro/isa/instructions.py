@@ -1,0 +1,92 @@
+"""Static instruction representation and register-file specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Opcode
+
+#: Number of architectural integer registers (r0 is hard-wired to zero).
+NUM_INT_REGS = 32
+#: Number of architectural floating-point registers.
+NUM_FP_REGS = 32
+#: Total architectural register namespace (int regs 0-31, fp regs 32-63).
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Conventional register roles used by the assembler and example programs.
+REG_ZERO = 0
+REG_RA = 1    # return address / link register
+REG_SP = 2    # stack pointer
+
+
+class Register:
+    """Helpers for naming and parsing architectural registers.
+
+    Integer registers are ``r0`` .. ``r31`` (indices 0-31); floating point
+    registers are ``f0`` .. ``f31`` (indices 32-63).
+    """
+
+    @staticmethod
+    def parse(name: str) -> int:
+        name = name.strip().lower()
+        if name == "ra":
+            return REG_RA
+        if name == "sp":
+            return REG_SP
+        if name == "zero":
+            return REG_ZERO
+        if len(name) < 2 or name[0] not in "rf" or not name[1:].isdigit():
+            raise ValueError(f"bad register name: {name!r}")
+        index = int(name[1:])
+        if index >= NUM_INT_REGS:
+            raise ValueError(f"register index out of range: {name!r}")
+        return index + (NUM_INT_REGS if name[0] == "f" else 0)
+
+    @staticmethod
+    def name(index: int) -> str:
+        if index < 0 or index >= NUM_ARCH_REGS:
+            raise ValueError(f"register index out of range: {index}")
+        if index < NUM_INT_REGS:
+            return f"r{index}"
+        return f"f{index - NUM_INT_REGS}"
+
+    @staticmethod
+    def is_fp(index: int) -> bool:
+        return index >= NUM_INT_REGS
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One static mini-ISA instruction.
+
+    Field use by format:
+
+    * R-type ALU/FP: ``rd``, ``rs1``, ``rs2``
+    * I-type ALU: ``rd``, ``rs1``, ``imm``
+    * loads: ``rd``, base ``rs1``, displacement ``imm``
+    * stores: data ``rs2``, base ``rs1``, displacement ``imm``
+    * branches: ``rs1``, ``rs2``, target ``imm`` (byte address)
+    * ``jal``: link ``rd``, target ``imm``; ``jalr``: link ``rd``, base ``rs1``
+    """
+
+    opcode: Opcode
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int = 0
+    pc: int = 0
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        regs = []
+        if self.rd is not None:
+            regs.append(Register.name(self.rd))
+        if self.rs1 is not None:
+            regs.append(Register.name(self.rs1))
+        if self.rs2 is not None:
+            regs.append(Register.name(self.rs2))
+        if regs:
+            parts.append(", ".join(regs))
+        if self.imm:
+            parts.append(f"imm={self.imm}")
+        return " ".join(parts)

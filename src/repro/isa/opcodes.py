@@ -1,0 +1,165 @@
+"""Opcode and operation-class definitions for the mini-ISA.
+
+Operation classes map directly onto the issue-port mix of the simulated
+machine (Section 4.1 of the paper): per cycle the scheduler can issue four
+simple integer operations, two complex integer/FP operations, one branch,
+one load, and one store.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Issue class of an operation; determines which issue port it uses."""
+
+    ALU = 0      # simple integer (4 issue slots per cycle)
+    COMPLEX = 1  # complex integer and FP (2 issue slots per cycle)
+    BRANCH = 2   # conditional branches, jumps, calls, returns (1 slot)
+    LOAD = 3     # memory loads (1 slot)
+    STORE = 4    # memory stores (1 slot; skip the OoO engine under NoSQ)
+    NOP = 5      # no-ops and other zero-resource instructions
+
+
+class Opcode(enum.Enum):
+    """Static opcodes of the mini-ISA.
+
+    Loads and stores encode the access size and, for loads, the extension
+    behaviour in the opcode, exactly as Alpha does.  ``LDS``/``STS`` are the
+    single-precision floating-point load/store that convert between the
+    32-bit in-memory IEEE754 representation and the 64-bit in-register
+    representation -- the transformation that NoSQ's partial-word bypassing
+    support must mimic (Section 3.5).
+    """
+
+    # Simple integer.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    LUI = "lui"
+
+    # Complex integer.
+    MUL = "mul"
+    DIV = "div"
+
+    # Floating point (operate on the f-register namespace).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FCVT = "fcvt"
+
+    # Loads: size and extension in the opcode.
+    LB = "lb"    # 1 byte, sign extend
+    LBU = "lbu"  # 1 byte, zero extend
+    LH = "lh"    # 2 bytes, sign extend
+    LHU = "lhu"  # 2 bytes, zero extend
+    LW = "lw"    # 4 bytes, sign extend
+    LWU = "lwu"  # 4 bytes, zero extend
+    LD = "ld"    # 8 bytes
+    LDS = "lds"  # 4 bytes, IEEE754 single -> in-register double (FP convert)
+    LDD = "ldd"  # 8 bytes into an f register
+
+    # Stores.
+    SB = "sb"    # 1 byte
+    SH = "sh"    # 2 bytes
+    SW = "sw"    # 4 bytes
+    SD = "sd"    # 8 bytes
+    STS = "sts"  # 4 bytes, in-register double -> IEEE754 single (FP convert)
+    STD = "std"  # 8 bytes from an f register
+
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JAL = "jal"    # call: link register, pushes RAS
+    JALR = "jalr"  # indirect call
+    RET = "ret"    # return: pops RAS
+
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Memory access size in bytes for each load/store opcode.
+MEM_SIZE: dict[Opcode, int] = {
+    Opcode.LB: 1, Opcode.LBU: 1,
+    Opcode.LH: 2, Opcode.LHU: 2,
+    Opcode.LW: 4, Opcode.LWU: 4, Opcode.LDS: 4,
+    Opcode.LD: 8, Opcode.LDD: 8,
+    Opcode.SB: 1, Opcode.SH: 2, Opcode.SW: 4, Opcode.STS: 4,
+    Opcode.SD: 8, Opcode.STD: 8,
+}
+
+#: Loads that sign-extend their value to 64 bits.
+SIGNED_LOADS = frozenset({Opcode.LB, Opcode.LH, Opcode.LW})
+
+#: Loads/stores that apply the single-precision FP conversion.
+FP_CONVERT_OPS = frozenset({Opcode.LDS, Opcode.STS})
+
+#: Opcodes that access the f-register namespace for their data operand.
+FP_DATA_OPS = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FCVT,
+     Opcode.LDS, Opcode.LDD, Opcode.STS, Opcode.STD}
+)
+
+LOAD_OPS = frozenset(
+    {Opcode.LB, Opcode.LBU, Opcode.LH, Opcode.LHU, Opcode.LW, Opcode.LWU,
+     Opcode.LD, Opcode.LDS, Opcode.LDD}
+)
+
+STORE_OPS = frozenset(
+    {Opcode.SB, Opcode.SH, Opcode.SW, Opcode.SD, Opcode.STS, Opcode.STD}
+)
+
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+CALL_OPS = frozenset({Opcode.JAL, Opcode.JALR})
+
+
+def op_class(opcode: Opcode) -> OpClass:
+    """Return the issue class of *opcode*."""
+    if opcode in LOAD_OPS:
+        return OpClass.LOAD
+    if opcode in STORE_OPS:
+        return OpClass.STORE
+    if opcode in BRANCH_OPS or opcode in CALL_OPS or opcode is Opcode.RET:
+        return OpClass.BRANCH
+    if opcode in (Opcode.MUL, Opcode.DIV, Opcode.FADD, Opcode.FSUB,
+                  Opcode.FMUL, Opcode.FDIV, Opcode.FCVT):
+        return OpClass.COMPLEX
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        return OpClass.NOP
+    return OpClass.ALU
+
+
+#: Execution latency in cycles for each issue class / opcode.  Loads add the
+#: data-cache access latency on top of their 1-cycle address generation.
+EXEC_LATENCY: dict[Opcode, int] = {}
+for _op in Opcode:
+    _cls = op_class(_op)
+    if _cls is OpClass.COMPLEX:
+        EXEC_LATENCY[_op] = {
+            Opcode.MUL: 3,
+            Opcode.DIV: 12,
+            Opcode.FADD: 4,
+            Opcode.FSUB: 4,
+            Opcode.FMUL: 4,
+            Opcode.FDIV: 12,
+            Opcode.FCVT: 4,
+        }[_op]
+    else:
+        EXEC_LATENCY[_op] = 1

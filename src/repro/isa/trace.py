@@ -1,0 +1,203 @@
+"""Dynamic-instruction trace format with ground-truth annotations.
+
+A *trace* is the committed (correct-path) dynamic instruction stream of a
+program, either produced by functionally executing a mini-ISA program
+(:mod:`repro.isa.executor`) or synthesized directly by the workload generator
+(:mod:`repro.workloads.generator`).  The timing simulator consumes traces.
+
+Each load in a trace carries ground-truth store-load communication
+annotations computed by :func:`annotate_trace`: the set of dynamic stores
+that supply its bytes.  The annotations serve three purposes:
+
+1. they reproduce the left half of Table 5 (in-window communication rates),
+2. they let the timing model decide whether a speculatively executed load
+   observed a correct value (a stale data-cache read, a wrong bypass, or a
+   multi-source partial-store case), and
+3. they provide the oracle for the idealized "perfect scheduling" and
+   "perfect SMB" configurations (Figures 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.isa.opcodes import OpClass
+
+#: Pseudo store sequence number meaning "the value comes from memory older
+#: than the trace" (i.e. no in-trace store wrote the byte).
+MEMORY_SOURCE = -1
+
+
+@dataclass(slots=True)
+class DynInst:
+    """One dynamic instruction in a trace.
+
+    ``seq`` is the dynamic sequence number (program order, dense from 0).
+    ``store_seq`` numbers stores densely in program order, so it directly
+    corresponds to the store sequence numbers (SSNs) the paper assigns at
+    rename (Section 2); the timing model offsets it by the run's initial
+    ``SSNrename`` when SSN counters wrap.
+    """
+
+    seq: int
+    pc: int
+    op: OpClass
+    srcs: tuple[int, ...] = ()
+    dst: int | None = None
+    lat: int = 1
+    # Memory operation fields.
+    addr: int | None = None
+    size: int = 0
+    signed: bool = False
+    fp_convert: bool = False
+    # Control-flow fields.
+    taken: bool = False
+    target: int | None = None
+    is_call: bool = False
+    is_return: bool = False
+    # Ground-truth annotations (filled in by annotate_trace).
+    store_seq: int = -1
+    src_stores: tuple[int, ...] = ()
+    containing_store: int = MEMORY_SOURCE
+    dist_insns: int = -1
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op is OpClass.BRANCH
+
+    @property
+    def communicates(self) -> bool:
+        """True if any byte of this load was written by an in-trace store."""
+        return self.is_load and any(s != MEMORY_SOURCE for s in self.src_stores)
+
+    @property
+    def is_multi_source(self) -> bool:
+        """True if the load's bytes come from more than one dynamic store.
+
+        This is the partial-store (e.g. two one-byte stores feeding a
+        two-byte load) case that SMB cannot bypass and that NoSQ handles
+        with *delay* (Section 3.3).
+        """
+        return self.is_load and len(set(self.src_stores)) > 1
+
+
+def annotate_trace(trace: Sequence[DynInst]) -> list[DynInst]:
+    """Fill the ground-truth store-load annotations of *trace* in place.
+
+    Walks the stream in program order keeping, for every byte address, the
+    dense sequence number of the last store that wrote it (plus the writing
+    instruction's dynamic seq).  For each load it records:
+
+    * ``src_stores`` -- per-byte writer store seqs (``MEMORY_SOURCE`` for
+      bytes never written inside the trace),
+    * ``containing_store`` -- the single store seq if exactly one store
+      supplies every byte, else ``MEMORY_SOURCE``,
+    * ``dist_insns`` -- dynamic instruction distance to the youngest source
+      store (used for the 128-instruction-window analysis of Table 5).
+
+    Returns the same list for convenience.
+    """
+    last_writer: dict[int, tuple[int, int]] = {}  # byte addr -> (store_seq, inst_seq)
+    store_count = 0
+    for inst in trace:
+        if inst.is_store:
+            inst.store_seq = store_count
+            for byte in range(inst.addr, inst.addr + inst.size):
+                last_writer[byte] = (store_count, inst.seq)
+            store_count += 1
+        elif inst.is_load:
+            sources = []
+            youngest_inst_seq = -1
+            for byte in range(inst.addr, inst.addr + inst.size):
+                writer = last_writer.get(byte)
+                if writer is None:
+                    sources.append(MEMORY_SOURCE)
+                else:
+                    sources.append(writer[0])
+                    youngest_inst_seq = max(youngest_inst_seq, writer[1])
+            inst.src_stores = tuple(sources)
+            unique = set(sources)
+            if len(unique) == 1 and MEMORY_SOURCE not in unique:
+                inst.containing_store = sources[0]
+            else:
+                inst.containing_store = MEMORY_SOURCE
+            inst.dist_insns = (
+                inst.seq - youngest_inst_seq if youngest_inst_seq >= 0 else -1
+            )
+    return list(trace)
+
+
+@dataclass
+class TraceStats:
+    """Aggregate store-load communication statistics of a trace.
+
+    ``window`` bounds the *instruction* distance considered "in window",
+    matching the paper's Table 5 methodology ("in a 128 instruction window
+    with no limit on the number of stores").
+    """
+
+    window: int
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    communicating_loads: int = 0
+    partial_word_loads: int = 0
+    multi_source_loads: int = 0
+
+    @property
+    def pct_communicating(self) -> float:
+        return 100.0 * self.communicating_loads / max(1, self.loads)
+
+    @property
+    def pct_partial_word(self) -> float:
+        return 100.0 * self.partial_word_loads / max(1, self.loads)
+
+
+def communication_stats(
+    trace: Iterable[DynInst], window: int = 128, store_sizes: dict[int, int] | None = None
+) -> TraceStats:
+    """Compute Table 5 (left half) statistics for *trace*.
+
+    A load counts as *communicating* if any source store lies within
+    ``window`` dynamic instructions.  It counts as *partial-word*
+    communication if, additionally, either the load or (any of) the source
+    stores accesses fewer than eight bytes.  ``store_sizes`` maps store seq
+    to access size; if omitted it is reconstructed from the trace.
+    """
+    trace = list(trace)
+    if store_sizes is None:
+        store_sizes = {
+            inst.store_seq: inst.size for inst in trace if inst.is_store
+        }
+    stats = TraceStats(window=window)
+    for inst in trace:
+        if inst.is_store:
+            stats.stores += 1
+        elif inst.is_branch:
+            stats.branches += 1
+        elif inst.is_load:
+            stats.loads += 1
+            if not inst.communicates:
+                continue
+            if inst.dist_insns < 0 or inst.dist_insns > window:
+                continue
+            stats.communicating_loads += 1
+            if inst.is_multi_source:
+                stats.multi_source_loads += 1
+            partial = inst.size < 8 or any(
+                store_sizes.get(s, 8) < 8
+                for s in inst.src_stores
+                if s != MEMORY_SOURCE
+            )
+            if partial:
+                stats.partial_word_loads += 1
+    return stats

@@ -1,0 +1,108 @@
+"""Trace serialization: save and reload annotated dynamic traces.
+
+Traces are written as gzip-compressed JSON lines, one instruction per line.
+Saving the generated (or functionally executed) trace makes an experiment
+bit-reproducible and lets expensive workloads be shared between runs and
+machines.
+
+::
+
+    from repro.isa.tracefile import save_trace, load_trace
+
+    save_trace(trace, "gzip-60k.trace.gz")
+    trace = load_trace("gzip-60k.trace.gz")
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import DynInst
+
+#: Format version written into the header line.
+FORMAT_VERSION = 1
+
+#: DynInst fields serialized per instruction (annotations included, so a
+#: reloaded trace needs no re-annotation pass).
+_FIELDS = (
+    "seq", "pc", "srcs", "dst", "lat", "addr", "size", "signed",
+    "fp_convert", "taken", "target", "is_call", "is_return",
+    "store_seq", "src_stores", "containing_store", "dist_insns",
+)
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or from an unknown version."""
+
+
+def save_trace(trace: Sequence[DynInst], path: str | Path) -> None:
+    """Write *trace* to *path* as gzip-compressed JSON lines."""
+    path = Path(path)
+    with gzip.open(path, "wt", encoding="utf-8") as stream:
+        header = {"format": "repro-trace", "version": FORMAT_VERSION,
+                  "instructions": len(trace)}
+        stream.write(json.dumps(header) + "\n")
+        for inst in trace:
+            record = {"op": inst.op.name}
+            for name in _FIELDS:
+                value = getattr(inst, name)
+                if isinstance(value, tuple):
+                    value = list(value)
+                record[name] = value
+            stream.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: str | Path) -> list[DynInst]:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="utf-8") as stream:
+        header_line = stream.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}: bad header") from exc
+        if header.get("format") != "repro-trace":
+            raise TraceFormatError(f"{path}: not a repro trace file")
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported version {header.get('version')}"
+            )
+        trace = [_decode(line, path) for line in stream if line.strip()]
+    expected = header.get("instructions")
+    if expected is not None and expected != len(trace):
+        raise TraceFormatError(
+            f"{path}: header says {expected} instructions, found {len(trace)}"
+        )
+    return trace
+
+
+def _decode(line: str, path: Path) -> DynInst:
+    try:
+        record = json.loads(line)
+        inst = DynInst(
+            seq=record["seq"],
+            pc=record["pc"],
+            op=OpClass[record["op"]],
+            srcs=tuple(record["srcs"]),
+            dst=record["dst"],
+            lat=record["lat"],
+            addr=record["addr"],
+            size=record["size"],
+            signed=record["signed"],
+            fp_convert=record["fp_convert"],
+            taken=record["taken"],
+            target=record["target"],
+            is_call=record["is_call"],
+            is_return=record["is_return"],
+        )
+        inst.store_seq = record["store_seq"]
+        inst.src_stores = tuple(record["src_stores"])
+        inst.containing_store = record["containing_store"]
+        inst.dist_insns = record["dist_insns"]
+        return inst
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceFormatError(f"{path}: malformed record: {exc}") from exc

@@ -1,0 +1,20 @@
+"""Memory-system substrate: sparse main memory, set-associative caches,
+a two-level hierarchy timing model, and a TLB.
+
+Parameters default to the machine of Section 4.1: 64KB 2-way L1 caches,
+a 1MB 8-way 10-cycle L2, 150-cycle main memory, and 128-entry 4-way TLBs.
+"""
+
+from repro.memory.main_memory import SparseMemory
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.hierarchy import MemoryHierarchy, HierarchyConfig
+from repro.memory.tlb import TLB
+
+__all__ = [
+    "SparseMemory",
+    "Cache",
+    "CacheStats",
+    "MemoryHierarchy",
+    "HierarchyConfig",
+    "TLB",
+]

@@ -1,0 +1,78 @@
+"""Two-level cache hierarchy timing model.
+
+Latencies follow Section 4.1: 3-cycle L1 data cache, 10-cycle 1MB 8-way L2,
+150-cycle main memory behind a 16-byte bus clocked at one quarter of the
+processor frequency (modelled as a per-line transfer occupancy added to the
+memory latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import Cache
+
+
+@dataclass
+class HierarchyConfig:
+    """Parameters of the cache/memory hierarchy."""
+
+    l1_size: int = 64 * 1024
+    l1_assoc: int = 2
+    l1_latency: int = 3
+    l2_size: int = 1024 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 10
+    line_bytes: int = 64
+    memory_latency: int = 150
+    bus_bytes_per_cycle: int = 4  # 16-byte bus at quarter frequency
+
+
+class MemoryHierarchy:
+    """L1 data cache + unified L2 + main memory.
+
+    ``read``/``write`` return the access latency in cycles and update the
+    cache state.  The model is tag-only: data correctness is handled by the
+    functional layer; this class provides timing and bandwidth statistics
+    (data-cache read counts are the subject of Figure 4).
+    """
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l1 = Cache(cfg.l1_size, cfg.l1_assoc, cfg.line_bytes, name="L1D")
+        self.l2 = Cache(cfg.l2_size, cfg.l2_assoc, cfg.line_bytes, name="L2")
+        self._line_fill_cycles = max(
+            1, cfg.line_bytes // max(1, cfg.bus_bytes_per_cycle)
+        )
+
+    def _access(self, addr: int, is_write: bool) -> int:
+        cfg = self.config
+        latency = cfg.l1_latency
+        if self.l1.access(addr, is_write):
+            return latency
+        latency += cfg.l2_latency
+        if self.l2.access(addr, is_write):
+            return latency
+        return latency + cfg.memory_latency + self._line_fill_cycles
+
+    def read(self, addr: int) -> int:
+        """A demand load access; returns its latency."""
+        return self._access(addr, is_write=False)
+
+    def write(self, addr: int) -> int:
+        """A committed store writing the data cache; returns its latency."""
+        return self._access(addr, is_write=True)
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive L1 presence check."""
+        return self.l1.lookup(addr)
+
+    def drain(self) -> None:
+        """Flush both cache levels (SSN wraparound drains)."""
+        self.l1.invalidate_all()
+        self.l2.invalidate_all()
+
+    @property
+    def l1_read_count(self) -> int:
+        return self.l1.stats.reads

@@ -1,0 +1,27 @@
+"""Out-of-order core substrate: ROB, rename, physical registers, issue
+bandwidth, and the load/store queues.
+
+The conventional baseline uses the fully-associative :class:`StoreQueue` for
+store-load forwarding; NoSQ eliminates it (and optionally the load queue),
+which is the point of the paper.
+"""
+
+from repro.ooo.rob import InFlightInst, ReorderBuffer
+from repro.ooo.rename import RegisterMapper
+from repro.ooo.regfile import PhysicalRegisterFile
+from repro.ooo.scheduler import PortSchedule, ISSUE_PORTS
+from repro.ooo.issue_queue import IssueQueueTracker
+from repro.ooo.lsq import ForwardResult, LoadQueueTracker, StoreQueue
+
+__all__ = [
+    "InFlightInst",
+    "ReorderBuffer",
+    "RegisterMapper",
+    "PhysicalRegisterFile",
+    "PortSchedule",
+    "ISSUE_PORTS",
+    "IssueQueueTracker",
+    "ForwardResult",
+    "LoadQueueTracker",
+    "StoreQueue",
+]

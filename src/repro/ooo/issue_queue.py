@@ -1,0 +1,81 @@
+"""Issue-queue occupancy tracking.
+
+The 40-entry issue queue (80 for the 256-window machine) holds dispatched,
+not-yet-issued instructions.  NoSQ frees issue-queue entries and issue slots
+by never dispatching stores or bypassed loads into the out-of-order engine --
+one of the three secondary benefits enumerated in Section 4.3.
+
+The tracker keeps a min-heap of scheduled issue cycles so occupancy at the
+current cycle is cheap to maintain; entries whose issue cycle is not yet
+known (NoSQ *delayed* loads waiting for a store commit) are counted as
+occupying until they are given an issue cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class IssueQueueTracker:
+    """Counts issue-queue occupancy over time."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("issue queue capacity must be positive")
+        self.capacity = capacity
+        self._scheduled: list[int] = []  # heap of issue cycles
+        self._unscheduled = 0            # entries with unknown issue cycle
+        self.peak_occupancy = 0
+
+    def occupancy(self, cycle: int) -> int:
+        """Entries still waiting at the start of *cycle*."""
+        while self._scheduled and self._scheduled[0] <= cycle:
+            heapq.heappop(self._scheduled)
+        return len(self._scheduled) + self._unscheduled
+
+    def has_space(self, cycle: int) -> bool:
+        return self.occupancy(cycle) < self.capacity
+
+    def add_scheduled(self, issue_cycle: int) -> None:
+        """Dispatch an entry whose issue cycle is already decided."""
+        heapq.heappush(self._scheduled, issue_cycle)
+        self._track_peak()
+
+    def add_unscheduled(self) -> None:
+        """Dispatch an entry waiting on an external event (delayed load)."""
+        self._unscheduled += 1
+        self._track_peak()
+
+    def schedule_unscheduled(self, issue_cycle: int) -> None:
+        """Give a previously unscheduled entry its issue cycle."""
+        if self._unscheduled <= 0:
+            raise RuntimeError("no unscheduled issue-queue entries")
+        self._unscheduled -= 1
+        heapq.heappush(self._scheduled, issue_cycle)
+
+    def remove_unscheduled(self, count: int) -> None:
+        """Squash *count* unscheduled entries (verification flush)."""
+        if count > self._unscheduled:
+            raise RuntimeError("squashing more unscheduled entries than exist")
+        self._unscheduled -= count
+
+    def remove_scheduled(self, issue_cycle: int) -> None:
+        """Squash an entry that had a booked issue cycle.
+
+        The heap is rebuilt lazily; squashes are rare (verification flushes
+        only), so a linear removal is acceptable.
+        """
+        try:
+            self._scheduled.remove(issue_cycle)
+        except ValueError:
+            return
+        heapq.heapify(self._scheduled)
+
+    def reset(self) -> None:
+        self._scheduled.clear()
+        self._unscheduled = 0
+
+    def _track_peak(self) -> None:
+        current = len(self._scheduled) + self._unscheduled
+        if current > self.peak_occupancy:
+            self.peak_occupancy = current

@@ -1,0 +1,132 @@
+"""Reorder buffer and the in-flight instruction record.
+
+Under NoSQ the ROB also buffers the store/load base register tags, data
+register tags, and displacements that the extended commit pipeline reads
+(Section 3.4, "these fields can (logically) be stored in the re-order
+buffer").  In this model those fields live on :class:`InFlightInst`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.isa.trace import DynInst
+
+
+@dataclass(slots=True)
+class InFlightInst:
+    """Per-instruction timing and speculation state while in the window."""
+
+    inst: DynInst
+    dispatch_cycle: int
+    #: Store sequence number assigned at rename (stores only).
+    ssn: int = -1
+    #: Cycle operands become ready / load is allowed to issue.
+    ready_cycle: int = 0
+    #: Cycle the instruction is selected for execution (-1 = not scheduled).
+    issue_cycle: int = -1
+    #: Cycle the result is available to consumers (-1 = not scheduled).
+    complete_cycle: int = -1
+    #: Cycle the out-of-order D$ read happens (loads that access the cache).
+    dcache_read_cycle: int = -1
+    #: True once the instruction occupies no issue-queue entry.
+    skips_issue_queue: bool = False
+    #: Bypassing state (NoSQ loads).
+    bypassed: bool = False
+    delayed: bool = False
+    predicted_ssn: int = -1
+    predicted_shift: int = -1
+    path_sensitive_hit: bool = False
+    #: The bypassing predictor produced a prediction for this load.
+    pred_hit: bool = False
+    #: SSN of the youngest store this load is not vulnerable to (Section 2.2).
+    ssn_nvul: int = -1
+    #: Whether the load's obtained value matches architectural state
+    #: (ground truth; resolved at commit).
+    value_ok: bool = True
+    #: Forwarded from the store queue in the conventional baseline.
+    sq_forwarded: bool = False
+    #: Allocated a physical register at rename.
+    allocated_preg: bool = False
+    #: Shares the physical register allocated by this seq (SMB; -1 = none).
+    shared_with_seq: int = -1
+    #: Dense store_seq of the predicted bypassing/delaying store (-1 = none).
+    predicted_store_seq: int = -1
+    #: SSNrename observed just before this instruction renamed.
+    ssn_rename_at_dispatch: int = 0
+    #: A partial-word bypass realized as an injected shift & mask operation.
+    injected_op: bool = False
+    #: Opportunistic SMB short-circuit applied (conventional machine only).
+    smb_applied: bool = False
+    #: Squashed by a verification flush (stale references must ignore it).
+    squashed: bool = False
+    #: Scheduling info used by the timing model: the in-flight producers
+    #: whose completion gates readiness, how the instruction executes
+    #: ("exec" = issue to a port, "load" = issue + D$ read, "bypass" = no
+    #: execution, completes with its producer, "none" = completes at
+    #: dispatch), and an extra readiness floor (e.g. a store-visibility
+    #: cycle for woken delayed loads).
+    producers: tuple = ()
+    sched_kind: str = "none"
+    port_class: int = 0
+    min_ready: int = 0
+    in_iq: bool = False
+
+    @property
+    def seq(self) -> int:
+        return self.inst.seq
+
+
+class ReorderBuffer:
+    """A bounded in-order window of :class:`InFlightInst`.
+
+    Entries enter at dispatch and leave either at commit (from the head) or
+    through a squash (from the tail, on a verification flush).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("ROB capacity must be positive")
+        self.capacity = capacity
+        self._entries: deque[InFlightInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[InFlightInst]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def head(self) -> InFlightInst | None:
+        return self._entries[0] if self._entries else None
+
+    def push(self, entry: InFlightInst) -> None:
+        if self.full:
+            raise RuntimeError("dispatch into a full ROB")
+        self._entries.append(entry)
+
+    def pop_head(self) -> InFlightInst:
+        return self._entries.popleft()
+
+    def squash_younger(self, seq: int) -> list[InFlightInst]:
+        """Remove and return all entries younger than dynamic *seq*.
+
+        Used by verification flushes: the mis-speculated load commits with
+        its corrected value and everything younger re-enters the pipeline
+        from the front end.
+        """
+        squashed: list[InFlightInst] = []
+        while self._entries and self._entries[-1].seq > seq:
+            squashed.append(self._entries.pop())
+        squashed.reverse()
+        return squashed

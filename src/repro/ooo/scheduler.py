@@ -1,0 +1,75 @@
+"""Issue bandwidth model.
+
+Section 4.1: "The scheduler can issue up to 4 instructions per cycle: 4
+simple integer, 2 complex integer/FP, 1 branch, 1 load and 1 store."  The
+:class:`PortSchedule` books issue slots per class with an overall per-cycle
+cap, letting the timing model schedule an instruction for the earliest cycle
+at or after its readiness with a free slot.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass
+
+#: Per-class issue slots per cycle (total capped separately).
+ISSUE_PORTS: dict[OpClass, int] = {
+    OpClass.ALU: 4,
+    OpClass.COMPLEX: 2,
+    OpClass.BRANCH: 1,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.NOP: 4,
+}
+
+
+class PortSchedule:
+    """Books per-cycle issue slots.
+
+    ``reserve(op_class, earliest)`` returns the first cycle >= *earliest*
+    with both a free class slot and free total bandwidth, and books it.
+    Completed cycles are garbage-collected lazily as the caller's commit
+    pointer advances (see :meth:`discard_before`).
+    """
+
+    def __init__(
+        self,
+        ports: dict[OpClass, int] | None = None,
+        total_width: int = 4,
+    ) -> None:
+        self.ports = dict(ports or ISSUE_PORTS)
+        self.total_width = total_width
+        self._class_used: dict[int, list[int]] = {}
+        self._total_used: dict[int, int] = {}
+
+    def reserve(self, op_class: OpClass, earliest: int) -> int:
+        """Book a slot of *op_class* at the first feasible cycle."""
+        limit = self.ports[op_class]
+        cycle = earliest
+        while True:
+            used = self._class_used.get(cycle)
+            total = self._total_used.get(cycle, 0)
+            class_used = used[op_class] if used else 0
+            if class_used < limit and total < self.total_width:
+                if used is None:
+                    used = [0] * len(OpClass)
+                    self._class_used[cycle] = used
+                used[op_class] += 1
+                self._total_used[cycle] = total + 1
+                return cycle
+            cycle += 1
+
+    def discard_before(self, cycle: int) -> None:
+        """Free bookkeeping for cycles before *cycle* (already in the past)."""
+        if len(self._total_used) < 4096:
+            return
+        stale = [c for c in self._total_used if c < cycle]
+        for c in stale:
+            self._total_used.pop(c, None)
+            self._class_used.pop(c, None)
+
+    def used(self, cycle: int, op_class: OpClass | None = None) -> int:
+        """Introspection for tests: slots booked at *cycle*."""
+        if op_class is None:
+            return self._total_used.get(cycle, 0)
+        used = self._class_used.get(cycle)
+        return used[op_class] if used else 0

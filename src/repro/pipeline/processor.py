@@ -1,0 +1,1215 @@
+"""The cycle-level timing model.
+
+One :class:`Processor` simulates one machine configuration over one
+annotated correct-path trace.  The model is trace-driven: control flow and
+memory addresses come from the trace; the configuration's predictors,
+structures, and verification machinery decide timing, speculation, and
+recovery.
+
+Modelling approach (see DESIGN.md for the full rationale):
+
+* **In-order dispatch / greedy scheduling.**  Instructions dispatch in
+  program order (bounded by width, fetch-group rules, and structure
+  occupancy).  Issue and completion cycles are computed greedily when an
+  instruction's producers are all scheduled, using a per-class issue-port
+  schedule; instructions gated by future *events* (a NoSQ delayed load
+  waiting on a store commit, a partial-overlap load waiting for stores to
+  drain) are scheduled when the event fires.
+* **Commit** proceeds in order, bounded by commit width and by the single
+  back-end data-cache port shared between store commits and load
+  re-executions.
+* **Verification** is performed with the real SVW/T-SSBF logic; whether a
+  re-executed load's value actually mismatches is decided from the trace's
+  ground-truth store-load annotations and the store-visibility timeline.
+  A load the filter exempts from re-execution must have a correct value --
+  the model asserts this invariant on every commit.
+* **Flushes** (verification mismatches) squash all younger in-flight work
+  and restart dispatch from the trace with the back-end + front-end redirect
+  penalty; branch mispredictions stall dispatch until the branch resolves.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.core.bypass_predictor import NO_BYPASS, BypassingPredictor
+from repro.core.commit_pipeline import CommitPipeline
+from repro.core.partial_word import transform_for
+from repro.core.srq import SRQEntry, StoreRegisterQueue
+from repro.core.ssbf import TaggedSSBF
+from repro.core.ssn import SSNCounters
+from repro.core.svw import BypassVerdict, SVWFilter
+from repro.frontend.branch_predictor import BTB, HybridBranchPredictor, ReturnAddressStack
+from repro.frontend.path_history import compute_path_history
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import DynInst, MEMORY_SOURCE
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.tlb import TLB
+from repro.ooo.issue_queue import IssueQueueTracker
+from repro.ooo.lsq import LoadQueueTracker, StoreQueue, StoreQueueEntry
+from repro.ooo.regfile import PhysicalRegisterFile
+from repro.ooo.rename import RegisterMapper
+from repro.ooo.rob import InFlightInst, ReorderBuffer
+from repro.ooo.scheduler import PortSchedule
+from repro.pipeline.config import BypassKind, MachineConfig, Mode, SchedulerKind
+from repro.pipeline.stats import RunStats
+from repro.predictors.store_sets import StoreSets
+
+
+class SimulationError(RuntimeError):
+    """Raised when the cycle loop detects an inconsistency or livelock."""
+
+
+class Processor:
+    """Cycle-level simulator for one machine configuration."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.tlb = TLB(
+            entries=config.tlb_entries,
+            assoc=config.tlb_assoc,
+            miss_penalty=config.tlb_miss_penalty,
+        )
+        self.branch_predictor = HybridBranchPredictor(
+            table_entries=config.bp_table_entries,
+            history_bits=config.bp_history_bits,
+        )
+        self.btb = BTB(entries=config.btb_entries, assoc=config.btb_assoc)
+        self.ras = ReturnAddressStack(depth=config.ras_depth)
+        self.ssn = SSNCounters(bits=config.ssn_bits)
+        self.ssbf = TaggedSSBF(
+            entries=config.tssbf_entries, assoc=config.tssbf_assoc
+        )
+        self.svw = SVWFilter(self.ssbf)
+        self.commit_pipeline = CommitPipeline(
+            config.backend,
+            self.hierarchy,
+            self.tlb,
+            translate_stores=(config.mode is Mode.NOSQ),
+        )
+        self.rob = ReorderBuffer(config.rob_size)
+        self.mapper = RegisterMapper()
+        self.pregs = PhysicalRegisterFile(config.phys_regs)
+        self.iq = IssueQueueTracker(config.iq_size)
+        self.ports = PortSchedule()
+        self.lq = LoadQueueTracker(config.lq_size)
+        self.sq = StoreQueue(config.sq_size) if config.sq_size else None
+        # SRQ entries stay live until the store's cache write is visible
+        # (SSNcommit advances in the final back-end stage), so the live SSN
+        # span can exceed the ROB by the back-end drain backlog.
+        self.srq = StoreRegisterQueue(capacity=2 * max(config.rob_size, 64))
+        self.store_sets = (
+            StoreSets()
+            if config.mode is Mode.CONVENTIONAL
+            and config.scheduler is SchedulerKind.STORESETS
+            else None
+        )
+        self.bypass_predictor = (
+            BypassingPredictor(config.bypass_predictor)
+            if (config.mode is Mode.NOSQ and config.bypass is BypassKind.REAL)
+            or config.smb_opportunistic
+            else None
+        )
+        self.stats = RunStats(config_name=config.name)
+
+        # Per-run state (initialized in run()).
+        self._trace: list[DynInst] = []
+        self._path_hist: list[int] = []
+        self._store_insts: list[DynInst] = []
+        self._pos = 0
+        self._dispatch_barrier = 0
+        self._visible_cycles: list[int] = []
+        self._epoch_store_base = 0
+        self._drain_pending = False
+        self._inflight_stores: dict[int, InFlightInst] = {}  # store_seq -> entry
+        self._store_exec_cycles: dict[int, int] = {}  # store_seq -> exec done
+        #: stores that left the ROB but whose D$ write is not yet visible:
+        #: (visible_cycle, ssn, store_seq).  SSNcommit advances only when the
+        #: write completes -- the paper's commit stage is the *last* back-end
+        #: stage, after the data-cache write.
+        self._pending_commits: list[tuple[int, int, int]] = []
+        self._store_entry_cycles: list[int] = []  # commit-entry per store_seq
+        self._sched_waiters: dict[int, list[InFlightInst]] = {}  # producer seq
+        self._commit_waiters: dict[int, list[InFlightInst]] = {}  # store_seq
+        self._ran = False
+        self._warmup = 0
+        self._committed_total = 0
+        self._measure_start_cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: list[DynInst], warmup: int = 0) -> RunStats:
+        """Simulate *trace* to completion and return the run statistics.
+
+        ``warmup`` excludes the first N committed instructions from the
+        statistics (predictors, caches, and the T-SSBF stay warm), mirroring
+        the paper's warmed sampling methodology.
+
+        A :class:`Processor` is single-use: predictors and caches carry
+        state, so use a fresh instance (or :func:`simulate`) per run.
+        """
+        if self._ran:
+            raise SimulationError("Processor instances are single-use")
+        self._ran = True
+        self._warmup = min(warmup, max(0, len(trace) - 1))
+        self._committed_total = 0
+        self._measure_start_cycle = 0
+        self._trace = trace
+        self._path_hist = compute_path_history(trace)
+        self._store_insts = [i for i in trace if i.is_store]
+        self._pos = 0
+        self._dispatch_barrier = 0
+        self._visible_cycles = []
+        self._epoch_store_base = 0
+        self._drain_pending = False
+        self._inflight_stores = {}
+        self._store_exec_cycles = {}
+        self._pending_commits = []
+        self._store_entry_cycles = []
+        self._sched_waiters = {}
+        self._commit_waiters = {}
+        n = len(trace)
+        if n == 0:
+            return self.stats
+        max_cycles = n * self.config.max_cycles_per_inst + 100_000
+
+        cycle = 0
+        while self._pos < n or not self.rob.empty or self._pending_commits:
+            self._advance_ssn_commit(cycle)
+            progressed = self._commit_stage(cycle)
+            progressed |= self._dispatch_stage(cycle)
+            if not progressed:
+                cycle = self._next_event_cycle(cycle)
+            else:
+                cycle += 1
+            self.ports.discard_before(cycle - 8)
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"livelock: {cycle} cycles for {n} instructions "
+                    f"(pos={self._pos}, rob={len(self.rob)})"
+                )
+        self.stats.cycles = cycle - self._measure_start_cycle
+        self.stats.instructions = n - self._warmup
+        return self.stats
+
+    def _next_event_cycle(self, cycle: int) -> int:
+        """Skip idle cycles to the next cycle something can happen."""
+        candidates = [cycle + 1]
+        head = self.rob.head
+        if head is not None and head.complete_cycle > cycle:
+            candidates.append(head.complete_cycle)
+        if self._pending_commits:
+            candidates.append(self._pending_commits[0][0])
+        if self._pos < len(self._trace) and self._dispatch_barrier > cycle:
+            if self.rob.empty and not self._pending_commits:
+                return max(cycle + 1, self._dispatch_barrier)
+            candidates.append(self._dispatch_barrier)
+        return min(c for c in candidates if c > cycle)
+
+    def _advance_ssn_commit(self, cycle: int) -> None:
+        """Advance SSNcommit for stores whose cache write became visible.
+
+        Until then the store remains bypassable: its SRQ entry stays live
+        and rename-time ``SSNbyp > SSNcommit`` checks treat it as in flight,
+        exactly as the paper's pipeline (SSNcommit increments in the final
+        commit stage, after the data-cache write stage).
+        """
+        while self._pending_commits and self._pending_commits[0][0] <= cycle:
+            _, ssn, _store_seq = self._pending_commits.pop(0)
+            advanced = self.ssn.advance_commit()
+            if advanced != ssn:
+                raise SimulationError(
+                    f"store commit SSN mismatch: {advanced} != {ssn}"
+                )
+            self.srq.retire(ssn)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (fetch / decode / rename)
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_stage(self, cycle: int) -> bool:
+        if cycle < self._dispatch_barrier or self._pos >= len(self._trace):
+            return False
+        if self._drain_pending:
+            if not self.rob.empty or self._pending_commits:
+                return False
+            self._perform_drain(cycle)
+            return False
+
+        config = self.config
+        dispatched = 0
+        group_branches = 0
+        group_taken = 0
+        while dispatched < config.width and self._pos < len(self._trace):
+            inst = self._trace[self._pos]
+            if self.rob.full or not self.pregs.can_allocate:
+                break
+            if inst.is_load and not self.lq.unlimited and not self.lq.has_space():
+                break
+            if inst.is_store:
+                if self.sq is not None and self.sq.full:
+                    self.stats.sq_full_stalls += 1
+                    break
+                if self.ssn.rename + 1 >= self.ssn.limit:
+                    self._drain_pending = True
+                    break
+            if inst.is_branch:
+                group_branches += 1
+                if group_branches > config.max_branches_per_group:
+                    break
+            needs_iq = self._enters_issue_queue(inst)
+            if needs_iq and not self.iq.has_space(cycle):
+                break
+
+            entry = InFlightInst(inst=inst, dispatch_cycle=cycle)
+            entry.ssn_rename_at_dispatch = self.ssn.rename
+            self._dispatch_one(entry, cycle)
+            self.rob.push(entry)
+            self._pos += 1
+            dispatched += 1
+
+            if inst.is_branch:
+                stop = self._handle_branch(entry, cycle)
+                if inst.taken:
+                    group_taken += 1
+                if stop or group_taken >= config.max_taken_per_group:
+                    break
+        if dispatched == 0:
+            self.stats.dispatch_stall_cycles += 1
+        return dispatched > 0
+
+    def _enters_issue_queue(self, inst: DynInst) -> bool:
+        """Does this instruction occupy an issue-queue entry?"""
+        if self.config.mode is Mode.CONVENTIONAL:
+            return inst.op is not OpClass.NOP
+        # NoSQ: stores never dispatch to the out-of-order engine; bypassed
+        # loads may (as injected ops), decided at rename.  Conservatively
+        # require space for loads; a pure-rename bypass simply won't use it.
+        if inst.is_store:
+            return False
+        return inst.op is not OpClass.NOP
+
+    def _dispatch_one(self, entry: InFlightInst, cycle: int) -> None:
+        inst = entry.inst
+        if inst.is_store:
+            self._dispatch_store(entry, cycle)
+        elif inst.is_load:
+            self._dispatch_load(entry, cycle)
+        else:
+            self._dispatch_simple(entry, cycle)
+
+    def _dispatch_simple(self, entry: InFlightInst, cycle: int) -> None:
+        inst = entry.inst
+        if inst.op is OpClass.NOP:
+            entry.sched_kind = "none"
+            entry.complete_cycle = cycle + 1
+            entry.skips_issue_queue = True
+        else:
+            entry.sched_kind = "exec"
+            entry.port_class = int(inst.op)
+            entry.producers = self._producers_for(inst.srcs)
+            self._enter_issue_queue(entry)
+            self._try_schedule(entry)
+        if inst.dst is not None:
+            self.pregs.allocate(entry.seq)
+            entry.allocated_preg = True
+            self.mapper.define(inst.dst, entry.seq, entry)
+
+    def _enter_issue_queue(self, entry: InFlightInst) -> None:
+        entry.in_iq = True
+        self.iq.add_unscheduled()
+        self.stats.iq_dispatches += 1
+
+    def _producers_for(self, srcs: tuple[int, ...]) -> tuple:
+        producers = []
+        for reg in srcs:
+            producer = self.mapper.producer(reg)
+            if producer is not None:
+                producers.append(producer)
+        return tuple(producers)
+
+    # -- stores --------------------------------------------------------- #
+
+    def _dispatch_store(self, entry: InFlightInst, cycle: int) -> None:
+        inst = entry.inst
+        ssn, wrapped = self.ssn.next_rename()
+        if wrapped:
+            raise SimulationError("SSN wrap must be drained before renaming")
+        entry.ssn = ssn
+        self._inflight_stores[inst.store_seq] = entry
+
+        data_reg = inst.srcs[1] if len(inst.srcs) > 1 else None
+        def_producer = (
+            self.mapper.producer(data_reg) if data_reg is not None else None
+        )
+        self.srq.insert(
+            SRQEntry(
+                ssn=ssn,
+                def_producer=def_producer,
+                store_seq=inst.store_seq,
+                size=inst.size,
+                fp_convert=inst.fp_convert,
+                debug_addr=inst.addr,
+            )
+        )
+
+        if self.config.mode is Mode.CONVENTIONAL:
+            # Execute out-of-order: address generation + data capture.
+            entry.sched_kind = "exec"
+            entry.port_class = int(OpClass.STORE)
+            entry.producers = self._producers_for(inst.srcs)
+            self._enter_issue_queue(entry)
+            self._try_schedule(entry)
+            self.sq.insert(
+                StoreQueueEntry(
+                    seq=inst.seq,
+                    ssn=ssn,
+                    addr=inst.addr,
+                    size=inst.size,
+                    execute_complete=-1,
+                )
+            )
+            if self.store_sets is not None:
+                self.store_sets.store_renamed(inst.pc, entry)
+        else:
+            # NoSQ: the store skips the out-of-order engine entirely and is
+            # marked complete at rename; it executes in the back end.
+            entry.sched_kind = "none"
+            entry.skips_issue_queue = True
+            entry.complete_cycle = cycle + 1
+
+    # -- loads ---------------------------------------------------------- #
+
+    def _dispatch_load(self, entry: InFlightInst, cycle: int) -> None:
+        if not self.lq.unlimited:
+            self.lq.insert()
+        if self.config.mode is Mode.CONVENTIONAL:
+            self._dispatch_load_conventional(entry, cycle)
+        else:
+            self._dispatch_load_nosq(entry, cycle)
+        if entry.inst.dst is not None and not entry.bypassed:
+            self.pregs.allocate(entry.seq)
+            entry.allocated_preg = True
+            self.mapper.define(entry.inst.dst, entry.seq, entry)
+
+    def _classify_against_sq(self, inst: DynInst) -> tuple[str, int]:
+        """Classification an associative SQ search would produce.
+
+        Returns ``(kind, store_seq)`` where kind is "none", "full", or
+        "partial".  Per-byte youngest-writer reasoning makes this exactly
+        equivalent to :meth:`repro.ooo.lsq.StoreQueue.search` restricted to
+        in-flight stores (a property verified by tests).
+        """
+        inflight_sources = [
+            s for s in set(inst.src_stores)
+            if s != MEMORY_SOURCE and s in self._inflight_stores
+        ]
+        if not inflight_sources:
+            return "none", -1
+        all_sources = {s for s in inst.src_stores}
+        if (
+            len(all_sources) == 1
+            and inst.containing_store in self._inflight_stores
+        ):
+            return "full", inst.containing_store
+        return "partial", max(inflight_sources)
+
+    def _dispatch_load_conventional(self, entry: InFlightInst, cycle: int) -> None:
+        inst = entry.inst
+        entry.sched_kind = "load"
+        entry.producers = self._producers_for(inst.srcs)
+        self._enter_issue_queue(entry)
+
+        kind, source_seq = self._classify_against_sq(inst)
+        if kind == "partial":
+            # The store queue cannot assemble the value from multiple
+            # stores; the load waits for the involved stores to drain.
+            self._commit_waiters.setdefault(source_seq, []).append(entry)
+            return
+        if kind == "full":
+            entry.sq_forwarded = True
+            entry.predicted_store_seq = source_seq
+
+        if self.config.scheduler is SchedulerKind.PERFECT:
+            blockers = [
+                self._inflight_stores[s]
+                for s in set(inst.src_stores)
+                if s != MEMORY_SOURCE and s in self._inflight_stores
+            ]
+            entry.producers = entry.producers + tuple(blockers)
+            visible_floor = 0
+            for s in set(inst.src_stores):
+                if s == MEMORY_SOURCE or s in self._inflight_stores:
+                    continue
+                if s < len(self._visible_cycles):
+                    visible_floor = max(visible_floor, self._visible_cycles[s])
+            entry.min_ready = visible_floor
+        elif self.store_sets is not None:
+            handle = self.store_sets.load_dependence(inst.pc)
+            if (
+                isinstance(handle, InFlightInst)
+                and not handle.squashed
+                and handle.seq < inst.seq
+            ):
+                entry.producers = entry.producers + (handle,)
+        self._try_schedule(entry)
+        if self.config.smb_opportunistic:
+            self._apply_opportunistic_smb(entry)
+
+    def _apply_opportunistic_smb(self, entry: InFlightInst) -> None:
+        """The Table 1 background design: a high-confidence prediction
+        short-circuits the load's consumers to the store's data producer
+        while the load itself still executes out-of-order and verifies the
+        bypass by comparing values.
+
+        A wrong bypass is detected when the load completes; the model stalls
+        dispatch until then (like a branch misprediction), which is when the
+        squash/refetch would begin.
+        """
+        inst = entry.inst
+        pred = self.bypass_predictor.predict(
+            inst.pc, self._path_hist[inst.seq]
+        )
+        entry.pred_hit = pred.hit
+        entry.path_sensitive_hit = pred.path_sensitive
+        if not (pred.predicts_bypass and pred.confident):
+            return
+        ssn_byp = entry.ssn_rename_at_dispatch + 1 - pred.dist
+        if ssn_byp <= self.ssn.commit or ssn_byp > self.ssn.rename:
+            return
+        srq_entry = self.srq.lookup(ssn_byp)
+        if srq_entry is None:
+            return
+        transform = transform_for(
+            store_size=srq_entry.size,
+            store_fp_convert=srq_entry.fp_convert,
+            load_size=inst.size,
+            load_signed=inst.signed,
+            load_fp_convert=inst.fp_convert,
+            shift=pred.shift,
+        )
+        if transform is None:
+            return
+        entry.smb_applied = True
+        entry.predicted_ssn = ssn_byp
+        entry.predicted_store_seq = srq_entry.store_seq
+        entry.predicted_shift = pred.shift
+        correct = (
+            inst.containing_store == srq_entry.store_seq
+            and inst.addr - self._store_insts[srq_entry.store_seq].addr
+            == pred.shift
+        )
+        if correct and inst.dst is not None:
+            # Short-circuit consumers to the DEF (or the store's committed
+            # value): they wake on the DEF's completion, not the load's.
+            def_producer = srq_entry.def_producer
+            if (
+                isinstance(def_producer, InFlightInst)
+                and not def_producer.squashed
+                and def_producer.complete_cycle >= 0
+            ):
+                self.mapper.define(inst.dst, inst.seq, def_producer)
+        elif not correct:
+            # Verification at load execution detects the mismatch; younger
+            # fetch restarts after the load completes.
+            self.stats.flush_wrong_store += 1
+            self.stats.flushes += 1
+            resolve = entry.complete_cycle
+            if resolve < 0:
+                resolve = entry.dispatch_cycle + 1
+                self._sched_waiters.setdefault(entry.seq, []).append(
+                    _BarrierRaiser(self, entry)
+                )
+            self._dispatch_barrier = max(
+                self._dispatch_barrier,
+                resolve + self.config.frontend_depth,
+            )
+
+    def _dispatch_load_nosq(self, entry: InFlightInst, cycle: int) -> None:
+        inst = entry.inst
+        if self.config.bypass is BypassKind.PERFECT:
+            self._dispatch_load_nosq_perfect(entry, cycle)
+            return
+
+        history = self._path_hist[inst.seq]
+        pred = self.bypass_predictor.predict(inst.pc, history)
+        self.stats.predictor_lookups += 1
+        if pred.path_sensitive:
+            self.stats.predictor_path_hits += 1
+        entry.path_sensitive_hit = pred.path_sensitive
+        entry.pred_hit = pred.hit
+
+        ssn_byp = -1
+        if pred.predicts_bypass:
+            ssn_byp = entry.ssn_rename_at_dispatch + 1 - pred.dist
+        if ssn_byp <= self.ssn.commit or ssn_byp > self.ssn.rename:
+            # Predictor miss, non-bypass prediction, or the predicted store
+            # already committed: plain (unscheduled) cache access.
+            self._setup_nonbypassing_load(entry)
+            return
+
+        srq_entry = self.srq.lookup(ssn_byp)
+        if srq_entry is None:
+            raise SimulationError(f"in-flight SSN {ssn_byp} missing from SRQ")
+
+        if self.config.delay_enabled and not pred.confident:
+            # Delay: wait for the predicted store to commit, then read the
+            # cache safely.
+            entry.delayed = True
+            entry.predicted_store_seq = srq_entry.store_seq
+            entry.sched_kind = "load"
+            entry.producers = self._producers_for(inst.srcs)
+            self._enter_issue_queue(entry)
+            if srq_entry.store_seq < len(self._visible_cycles):
+                # The store already left the ROB and is draining through
+                # the back end; its visibility cycle is known.
+                visible = self._visible_cycles[srq_entry.store_seq]
+                entry.min_ready = max(
+                    0, visible - self.config.hierarchy.l1_latency + 1
+                )
+                self._try_schedule(entry)
+            else:
+                self._commit_waiters.setdefault(
+                    srq_entry.store_seq, []
+                ).append(entry)
+            return
+
+        transform = transform_for(
+            store_size=srq_entry.size,
+            store_fp_convert=srq_entry.fp_convert,
+            load_size=inst.size,
+            load_signed=inst.signed,
+            load_fp_convert=inst.fp_convert,
+            shift=pred.shift,
+        )
+        if transform is None:
+            # The predicted pairing cannot be realized by a shift & mask
+            # (e.g. narrow store feeding a wider load).  The load falls back
+            # to a plain cache access -- and will mispredict if the store
+            # really does feed it.
+            self._setup_nonbypassing_load(entry)
+            return
+        self._setup_bypassing_load(entry, cycle, ssn_byp, srq_entry, transform)
+
+    def _dispatch_load_nosq_perfect(self, entry: InFlightInst, cycle: int) -> None:
+        """Oracle bypassing with idealized partial-word support."""
+        inst = entry.inst
+        source = inst.containing_store
+        if source != MEMORY_SOURCE and source in self._inflight_stores:
+            srq_entry = self.srq.lookup(
+                self._arch_ssn(source)
+            )
+            if srq_entry is None:
+                raise SimulationError("oracle bypass target missing from SRQ")
+            shift = inst.addr - self._store_insts[source].addr
+            transform = transform_for(
+                srq_entry.size, srq_entry.fp_convert,
+                inst.size, inst.signed, inst.fp_convert, shift,
+            )
+            if transform is None:
+                raise SimulationError("oracle bypass with impossible transform")
+            self._setup_bypassing_load(
+                entry, cycle, self._arch_ssn(source), srq_entry, transform
+            )
+            return
+        inflight_sources = [
+            s for s in set(inst.src_stores)
+            if s != MEMORY_SOURCE and s in self._inflight_stores
+        ]
+        if inflight_sources:
+            # Multi-source partial-store case: idealized delay.
+            youngest = max(inflight_sources)
+            entry.delayed = True
+            entry.predicted_store_seq = youngest
+            entry.sched_kind = "load"
+            entry.producers = self._producers_for(inst.srcs)
+            self._enter_issue_queue(entry)
+            self._commit_waiters.setdefault(youngest, []).append(entry)
+            return
+        # Sources (if any) committed: make sure the cache read sees them.
+        visible_floor = 0
+        for s in set(inst.src_stores):
+            if s != MEMORY_SOURCE and s < len(self._visible_cycles):
+                visible_floor = max(visible_floor, self._visible_cycles[s])
+        self._setup_nonbypassing_load(entry, min_ready=visible_floor)
+
+    def _setup_nonbypassing_load(
+        self, entry: InFlightInst, min_ready: int = 0
+    ) -> None:
+        entry.sched_kind = "load"
+        entry.producers = self._producers_for(entry.inst.srcs)
+        entry.min_ready = min_ready
+        self._enter_issue_queue(entry)
+        self._try_schedule(entry)
+
+    def _setup_bypassing_load(
+        self,
+        entry: InFlightInst,
+        cycle: int,
+        ssn_byp: int,
+        srq_entry: SRQEntry,
+        transform,
+    ) -> None:
+        inst = entry.inst
+        entry.bypassed = True
+        entry.predicted_ssn = ssn_byp
+        entry.predicted_store_seq = srq_entry.store_seq
+        entry.predicted_shift = transform.shift
+        entry.ssn_nvul = ssn_byp
+
+        def_producer = srq_entry.def_producer
+        live_def = (
+            def_producer
+            if isinstance(def_producer, InFlightInst) and not def_producer.squashed
+            else None
+        )
+        if transform.is_identity:
+            # Pure rename short-circuit: the load's output register IS the
+            # DEF's output register (reference-counted sharing).
+            entry.sched_kind = "bypass"
+            entry.skips_issue_queue = True
+            entry.producers = (live_def,) if live_def is not None else ()
+            if live_def is not None and live_def.allocated_preg:
+                self.pregs.share(live_def.seq)
+                entry.shared_with_seq = live_def.seq
+        else:
+            # Injected shift & mask operation in place of the load.
+            entry.sched_kind = "exec"
+            entry.port_class = int(OpClass.ALU)
+            entry.injected_op = True
+            entry.producers = (live_def,) if live_def is not None else ()
+            self._enter_issue_queue(entry)
+            self.pregs.allocate(entry.seq)
+            entry.allocated_preg = True
+        if inst.dst is not None:
+            self.mapper.define(inst.dst, entry.seq, entry)
+        self._try_schedule(entry)
+
+    # -- branches -------------------------------------------------------- #
+
+    def _handle_branch(self, entry: InFlightInst, cycle: int) -> bool:
+        """Run the front-end predictors for a dispatched branch.
+
+        Returns True if dispatch must stop (misprediction or fetch bubble).
+        """
+        inst = entry.inst
+        config = self.config
+        mispredicted = False
+        bubble = False
+        if inst.is_call:
+            self.ras.push(inst.pc + 4)
+            if not self.btb.lookup_and_update(inst.pc, inst.target):
+                bubble = True
+        elif inst.is_return:
+            if not self.ras.predict_return(inst.target):
+                mispredicted = True
+        else:
+            prediction = self.branch_predictor.predict_and_train(
+                inst.pc, inst.taken
+            )
+            if prediction != inst.taken:
+                mispredicted = True
+            elif inst.taken and not self.btb.lookup_and_update(inst.pc, inst.target):
+                bubble = True
+
+        if mispredicted:
+            self.stats.branch_mispredicts += 1
+            resolve = entry.complete_cycle
+            if resolve < 0:
+                # The branch is gated by an unscheduled producer; use a
+                # pessimistic resolve bound and let the barrier be raised
+                # again when it schedules (rare: branch fed by delayed load).
+                resolve = cycle + 1
+                self._sched_waiters.setdefault(entry.seq, []).append(
+                    _BarrierRaiser(self, entry)
+                )
+            self._dispatch_barrier = max(
+                self._dispatch_barrier, resolve + config.frontend_depth
+            )
+            return True
+        if bubble:
+            self.stats.btb_bubbles += 1
+            self._dispatch_barrier = max(
+                self._dispatch_barrier, cycle + 1 + config.btb_bubble
+            )
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Greedy scheduling
+    # ------------------------------------------------------------------ #
+
+    def _try_schedule(self, entry: InFlightInst) -> bool:
+        """Compute issue/complete cycles once all producers are scheduled."""
+        kind = entry.sched_kind
+        if kind == "bypass":
+            # Rename-stage short-circuit: no execution; the value is ready
+            # when the DEF completes.
+            floor = entry.dispatch_cycle + 1
+        else:
+            # Schedule + register-read stages separate rename from execute.
+            floor = entry.dispatch_cycle + 1 + self.config.exec_delay
+        ready = max(entry.min_ready, floor)
+        for producer in entry.producers:
+            if producer is None:
+                continue
+            if producer.complete_cycle < 0:
+                self._sched_waiters.setdefault(producer.seq, []).append(entry)
+                return False
+            ready = max(ready, producer.complete_cycle)
+
+        if kind == "bypass":
+            entry.complete_cycle = ready
+        elif kind == "exec":
+            entry.issue_cycle = self.ports.reserve(
+                OpClass(entry.port_class), ready
+            )
+            entry.complete_cycle = entry.issue_cycle + entry.inst.lat
+            if entry.in_iq:
+                self.iq.schedule_unscheduled(entry.issue_cycle)
+        elif kind == "load":
+            entry.issue_cycle = self.ports.reserve(OpClass.LOAD, ready)
+            latency = self.hierarchy.read(entry.inst.addr)
+            if entry.sq_forwarded:
+                # The value comes from the store queue at forwarding
+                # latency; the parallel cache probe still happens (and may
+                # fetch the line) but its miss is not on the value path.
+                latency = self.config.hierarchy.l1_latency
+            latency += self.tlb.access(entry.inst.addr)
+            # The cache is read at the end of the L1 access pipeline; a
+            # store whose back-end write drains by then is observed.
+            entry.dcache_read_cycle = (
+                entry.issue_cycle + self.config.hierarchy.l1_latency
+            )
+            entry.complete_cycle = entry.issue_cycle + latency
+            self.stats.ooo_dcache_reads += 1
+            if entry.in_iq:
+                self.iq.schedule_unscheduled(entry.issue_cycle)
+        else:  # "none"
+            if entry.complete_cycle < 0:
+                entry.complete_cycle = entry.dispatch_cycle + 1
+        self._wake_sched_waiters(entry)
+        return True
+
+    def _wake_sched_waiters(self, producer: InFlightInst) -> None:
+        waiters = self._sched_waiters.pop(producer.seq, None)
+        if not waiters:
+            return
+        for waiter in waiters:
+            if isinstance(waiter, _BarrierRaiser):
+                waiter.fire()
+            elif not waiter.squashed and waiter.complete_cycle < 0:
+                self._try_schedule(waiter)
+
+    # ------------------------------------------------------------------ #
+    # Commit
+    # ------------------------------------------------------------------ #
+
+    def _commit_stage(self, cycle: int) -> bool:
+        committed = 0
+        stores_committed = 0
+        while committed < self.config.commit_width:
+            entry = self.rob.head
+            if entry is None:
+                break
+            if entry.complete_cycle < 0 or entry.complete_cycle > cycle:
+                break
+            inst = entry.inst
+            if inst.is_store and stores_committed:
+                # The back end drains one store per cycle into the shared
+                # data-cache write port.  (Re-executing loads contend for
+                # the same port; that contention is serialized inside
+                # CommitPipeline's port booking.)
+                break
+            flushed = False
+            if inst.is_store:
+                self.stats.stores += 1
+                self._commit_store(entry, cycle)
+                stores_committed += 1
+            elif inst.is_load:
+                self.stats.loads += 1
+                self._count_load_class(entry)
+                flushed = self._commit_load(entry, cycle)
+            elif inst.is_branch:
+                self.stats.branches += 1
+            self._release_at_commit(entry)
+            self.rob.pop_head()
+            committed += 1
+            self._committed_total += 1
+            if self._committed_total == self._warmup:
+                # End of the warmup window: statistics restart here with
+                # all microarchitectural state (predictors, caches, filter)
+                # left warm.
+                self.stats = RunStats(config_name=self.config.name)
+                self._measure_start_cycle = cycle
+            if flushed:
+                break
+        return committed > 0
+
+    def _release_at_commit(self, entry: InFlightInst) -> None:
+        if entry.allocated_preg:
+            self.pregs.release(entry.seq)
+        if entry.shared_with_seq >= 0:
+            self.pregs.release(entry.shared_with_seq)
+        if entry.inst.is_load and not self.lq.unlimited:
+            self.lq.remove()
+        self.mapper.retire_older_than(entry.seq)
+        self._sched_waiters.pop(entry.seq, None)
+
+    # -- stores ----------------------------------------------------------- #
+
+    def _commit_store(self, entry: InFlightInst, cycle: int) -> None:
+        inst = entry.inst
+        visible = self.commit_pipeline.store_commit(cycle, inst.addr, inst.size)
+        self.svw.store_commit(inst.addr, inst.size, entry.ssn)
+        if len(self._visible_cycles) != inst.store_seq:
+            raise SimulationError("store visibility timeline out of order")
+        self._visible_cycles.append(visible)
+        self._store_entry_cycles.append(cycle)
+        self._pending_commits.append((visible, entry.ssn, inst.store_seq))
+        self._inflight_stores.pop(inst.store_seq, None)
+        if self.config.mode is Mode.CONVENTIONAL:
+            self._store_exec_cycles[inst.store_seq] = entry.complete_cycle
+        if self.sq is not None:
+            head = self.sq.commit_head()
+            if head.seq != inst.seq:
+                raise SimulationError("store queue head mismatch at commit")
+        if self.store_sets is not None:
+            self.store_sets.store_retired(inst.pc, entry)
+        # Wake loads waiting for this store to drain (NoSQ delay, partial
+        # overlap): their cache read must see the store's data.
+        waiters = self._commit_waiters.pop(inst.store_seq, None)
+        if waiters:
+            wake = max(0, visible - self.config.hierarchy.l1_latency + 1)
+            for waiter in waiters:
+                if waiter.squashed:
+                    continue
+                # Issue early enough that the cache read pipeline completes
+                # right as the store's write becomes visible.
+                waiter.min_ready = max(waiter.min_ready, wake)
+                self._try_schedule(waiter)
+
+    # -- loads ------------------------------------------------------------ #
+
+    def _ssn_nvul_at(self, read_cycle: int) -> int:
+        """Architectural SSN of the youngest store visible by *read_cycle*."""
+        index = bisect_right(self._visible_cycles, read_cycle) - 1
+        return max(0, index + 1 - self._epoch_store_base)
+
+    def _arch_ssn(self, store_seq: int) -> int:
+        return store_seq + 1 - self._epoch_store_base
+
+    def _load_value_ok(self, entry: InFlightInst) -> bool:
+        """Ground truth: did the load obtain the architecturally correct
+        value through whichever path it took?"""
+        inst = entry.inst
+        if entry.bypassed:
+            if inst.containing_store != entry.predicted_store_seq:
+                return False
+            actual_shift = inst.addr - self._store_insts[inst.containing_store].addr
+            return actual_shift == entry.predicted_shift
+        if entry.sq_forwarded:
+            forward = entry.predicted_store_seq
+            store_entry = self._inflight_stores.get(forward)
+            if store_entry is not None and not store_entry.squashed:
+                # Still in flight at our commit?  Impossible (older store).
+                raise SimulationError("forwarding store outlived the load")
+            # Forwarded if the store had executed by the load's issue;
+            # otherwise the load effectively read the cache.
+            executed_by = self._store_exec_cycle(forward)
+            if executed_by is not None and executed_by <= entry.issue_cycle:
+                return True
+        # Cache path: every source store must be observable by the read.
+        # The conventional baseline forwards from the post-commit store
+        # buffer, so a store is observable once it enters the back end;
+        # NoSQ has no such datapath and needs the write to be visible in
+        # the cache itself.
+        if self.config.mode is Mode.CONVENTIONAL:
+            timeline = self._store_entry_cycles
+        else:
+            timeline = self._visible_cycles
+        for source in set(inst.src_stores):
+            if source == MEMORY_SOURCE:
+                continue
+            if (
+                source >= len(timeline)
+                or timeline[source] > entry.dcache_read_cycle
+            ):
+                return False
+        return True
+
+    def _store_exec_cycle(self, store_seq: int) -> int | None:
+        """Execution-complete cycle of a (now committed) store, if known."""
+        exec_cycle = self._store_exec_cycles.get(store_seq)
+        return exec_cycle
+
+    def _count_load_class(self, entry: InFlightInst) -> None:
+        """Classification statistics, counted once per *committed* load so
+        flush replays do not inflate them."""
+        if entry.bypassed:
+            self.stats.bypassed_loads += 1
+            if entry.injected_op:
+                self.stats.bypass_injected += 1
+            else:
+                self.stats.bypass_identity += 1
+        elif entry.smb_applied:
+            # Opportunistic SMB: the load still executed, but its consumers
+            # were short-circuited through rename.
+            self.stats.bypassed_loads += 1
+            self.stats.bypass_identity += 1
+            self.stats.nonbypassed_loads += 1
+        elif entry.delayed:
+            self.stats.delayed_loads += 1
+        else:
+            self.stats.nonbypassed_loads += 1
+
+    def _commit_load(self, entry: InFlightInst, cycle: int) -> bool:
+        """Verify and commit the load at the ROB head; True if it flushed."""
+        inst = entry.inst
+        value_ok = self._load_value_ok(entry)
+        flush = False
+
+        if entry.bypassed:
+            verdict = self.svw.test_bypassing(
+                inst.addr, inst.size, entry.predicted_ssn, entry.predicted_shift
+            )
+            if not self.config.svw_enabled and verdict is BypassVerdict.SKIP:
+                # Unfiltered re-execution: verify every bypassed load with
+                # a cache access (Section 2.2's strawman).
+                verdict = BypassVerdict.REEXEC
+            if verdict is BypassVerdict.SKIP:
+                if not value_ok:
+                    raise SimulationError(
+                        f"SVW passed a wrong bypassed value at seq {inst.seq}"
+                    )
+            elif verdict is BypassVerdict.TRANSFORM_MISMATCH:
+                if value_ok:
+                    raise SimulationError(
+                        "transform mismatch reported for a correct bypass"
+                    )
+                flush = True
+            else:  # REEXEC
+                self.stats.reexecuted_loads += 1
+                self.stats.backend_dcache_reads += 1
+                self.commit_pipeline.load_reexec(cycle, inst.addr, translate=True)
+                flush = not value_ok
+        else:
+            forwarded_effective = False
+            if entry.sq_forwarded:
+                exec_cycle = self._store_exec_cycle(entry.predicted_store_seq)
+                forwarded_effective = (
+                    exec_cycle is not None and exec_cycle <= entry.issue_cycle
+                )
+            if forwarded_effective:
+                # "if the load forwards, SSNnvul is the SSN of the
+                # forwarding store" (Section 2.2).
+                ssn_nvul = self._arch_ssn(entry.predicted_store_seq)
+            else:
+                ssn_nvul = self._ssn_nvul_at(entry.dcache_read_cycle)
+            entry.ssn_nvul = ssn_nvul
+            needs_reexec = self.svw.test_nonbypassing(
+                inst.addr, inst.size, ssn_nvul
+            )
+            if not self.config.svw_enabled:
+                # Unfiltered: any load that executed with older stores in
+                # flight is speculative and must re-execute.
+                needs_reexec = needs_reexec or ssn_nvul < entry.ssn_rename_at_dispatch
+            if needs_reexec:
+                self.stats.reexecuted_loads += 1
+                self.stats.backend_dcache_reads += 1
+                self.commit_pipeline.load_reexec(cycle, inst.addr, translate=False)
+                flush = not value_ok
+            elif not value_ok:
+                raise SimulationError(
+                    f"SVW filtered a stale load at seq {inst.seq}"
+                )
+
+        self._train_on_commit(entry, mispredicted=flush)
+        if flush:
+            self._record_flush_cause(entry)
+            self._flush_after(entry, cycle)
+        return flush
+
+    def _train_on_commit(self, entry: InFlightInst, mispredicted: bool) -> None:
+        if self.config.smb_opportunistic:
+            # Opportunistic SMB verifies at execute; commit-time training
+            # uses the ground-truth outcome of the applied short-circuit.
+            if entry.inst.is_load:
+                inst = entry.inst
+                if entry.smb_applied:
+                    train_event = (
+                        inst.containing_store != entry.predicted_store_seq
+                    )
+                else:
+                    # A missed short-circuit opportunity: the load forwarded
+                    # from a nearby store but no prediction was available.
+                    sources = [
+                        s for s in inst.src_stores if s != MEMORY_SOURCE
+                    ]
+                    train_event = bool(sources) and not entry.pred_hit and (
+                        entry.ssn_rename_at_dispatch + 1
+                        - self._arch_ssn(max(sources))
+                        <= self.config.bypass_predictor.max_distance
+                    )
+                self._train_bypass_predictor(entry, train_event)
+            if mispredicted and self.store_sets is not None:
+                sources = [
+                    s for s in entry.inst.src_stores if s != MEMORY_SOURCE
+                ]
+                if sources:
+                    store_pc = self._store_insts[max(sources)].pc
+                    self.store_sets.train_violation(entry.inst.pc, store_pc)
+            return
+        if self.bypass_predictor is None:
+            if (
+                mispredicted
+                and self.store_sets is not None
+            ):
+                # Conventional violation: put the load and the youngest
+                # in-window source store in a common store set.
+                sources = [
+                    s for s in entry.inst.src_stores if s != MEMORY_SOURCE
+                ]
+                if sources:
+                    store_pc = self._store_insts[max(sources)].pc
+                    self.store_sets.train_violation(entry.inst.pc, store_pc)
+            return
+        self._train_bypass_predictor(entry, mispredicted)
+
+    def _train_bypass_predictor(
+        self, entry: InFlightInst, mispredicted: bool
+    ) -> None:
+        inst = entry.inst
+        actual_dist = NO_BYPASS
+        actual_shift = 0
+        actual_size = 8
+        # Hardware learns the distance as SSNcommit - T-SSBF[ld.addr]: the
+        # youngest committed writer of the load's address.  For single-source
+        # loads that is the containing store; for multi-source partial-store
+        # cases it is the youngest byte writer -- and predicting it is what
+        # lets *delay* wait for the right store (Section 3.3).
+        sources = [s for s in inst.src_stores if s != MEMORY_SOURCE]
+        if sources:
+            youngest = max(sources)
+            source_ssn = self._arch_ssn(youngest)
+            if source_ssn >= 1:
+                dist = entry.ssn_rename_at_dispatch + 1 - source_ssn
+                if 1 <= dist <= self.config.bypass_predictor.max_distance:
+                    actual_dist = dist
+                    store = self._store_insts[youngest]
+                    actual_shift = max(
+                        0, min(7, inst.addr - store.addr)
+                    )
+                    actual_size = store.size
+        self.bypass_predictor.train(
+            inst.pc,
+            self._path_hist[inst.seq],
+            mispredicted=mispredicted,
+            prediction_available=entry.pred_hit,
+            actual_dist=actual_dist,
+            actual_shift=actual_shift,
+            actual_store_size=actual_size,
+        )
+        if mispredicted:
+            self.stats.predictor_trainings += 1
+
+    def _record_flush_cause(self, entry: InFlightInst) -> None:
+        inst = entry.inst
+        if self.config.mode is Mode.CONVENTIONAL:
+            self.stats.flush_conv_violation += 1
+            return
+        if entry.bypassed:
+            if inst.containing_store == MEMORY_SOURCE:
+                self.stats.flush_should_not_have_bypassed += 1
+            elif inst.containing_store != entry.predicted_store_seq:
+                self.stats.flush_wrong_store += 1
+            else:
+                self.stats.flush_wrong_shift += 1
+        else:
+            self.stats.flush_should_have_bypassed += 1
+
+    # ------------------------------------------------------------------ #
+    # Flush recovery
+    # ------------------------------------------------------------------ #
+
+    def _flush_after(self, victim: InFlightInst, cycle: int) -> None:
+        """Squash everything younger than *victim* and refetch."""
+        self.stats.flushes += 1
+        detect = self.commit_pipeline.flush_detect_cycle(cycle)
+        self._dispatch_barrier = max(
+            self._dispatch_barrier, detect + self.config.frontend_depth
+        )
+        squashed = self.rob.squash_younger(victim.seq)
+        lq_frees = 0
+        for entry in squashed:
+            entry.squashed = True
+            if entry.allocated_preg:
+                self.pregs.release(entry.seq)
+            if entry.shared_with_seq >= 0:
+                self.pregs.release(entry.shared_with_seq)
+            if entry.in_iq:
+                if entry.issue_cycle < 0:
+                    self.iq.remove_unscheduled(1)
+                elif entry.issue_cycle > cycle:
+                    self.iq.remove_scheduled(entry.issue_cycle)
+            if entry.inst.is_load and not self.lq.unlimited:
+                lq_frees += 1
+            if entry.inst.is_store:
+                self._inflight_stores.pop(entry.inst.store_seq, None)
+                if self.store_sets is not None:
+                    self.store_sets.store_retired(entry.inst.pc, entry)
+            self._sched_waiters.pop(entry.seq, None)
+        if lq_frees:
+            self.lq.remove(lq_frees)
+        self.mapper.squash_younger(victim.seq)
+        self.ssn.squash_to(victim.ssn_rename_at_dispatch)
+        self.srq.squash_above(victim.ssn_rename_at_dispatch)
+        if self.sq is not None:
+            self.sq.squash_younger(victim.seq)
+        self._pos = victim.seq + 1
+
+    # ------------------------------------------------------------------ #
+    # SSN wraparound drain
+    # ------------------------------------------------------------------ #
+
+    def _perform_drain(self, cycle: int) -> None:
+        """Pipeline drain on SSN wraparound: clear SSN-holding structures."""
+        self.stats.ssn_wraps += 1
+        self.ssbf.clear()
+        self.srq.clear()
+        self.ssn.reset()
+        self._epoch_store_base = len(self._visible_cycles)
+        self._drain_pending = False
+        self._dispatch_barrier = max(
+            self._dispatch_barrier, cycle + self.config.drain_penalty
+        )
+
+
+class _BarrierRaiser:
+    """Deferred dispatch-barrier update for a branch whose resolution time
+    was unknown at dispatch (its producer had not been scheduled yet)."""
+
+    def __init__(self, processor: Processor, branch: InFlightInst) -> None:
+        self.processor = processor
+        self.branch = branch
+        self.squashed = False
+        self.complete_cycle = 0  # duck-typing with InFlightInst in waiters
+        self.seq = branch.seq
+
+    def fire(self) -> None:
+        if self.branch.squashed or self.branch.complete_cycle < 0:
+            return
+        self.processor._dispatch_barrier = max(
+            self.processor._dispatch_barrier,
+            self.branch.complete_cycle + self.processor.config.frontend_depth,
+        )
+
+
+def simulate(
+    config: MachineConfig, trace: list[DynInst], warmup: int = 0
+) -> RunStats:
+    """Convenience wrapper: build a processor, run *trace*, return stats."""
+    return Processor(config).run(trace, warmup=warmup)

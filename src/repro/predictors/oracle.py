@@ -1,0 +1,68 @@
+"""Oracle predictors for the idealized configurations.
+
+These read the ground-truth annotations computed by
+:func:`repro.isa.trace.annotate_trace` and therefore never mis-speculate.
+They model the two idealizations the paper evaluates:
+
+* *perfect load scheduling* for the conventional baseline (the normalization
+  baseline of Figures 2 and 3),
+* *perfect SMB*: a perfect bypassing predictor with idealized partial-word
+  support (the fourth bar of Figures 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.trace import DynInst, MEMORY_SOURCE
+
+
+class PerfectScheduler:
+    """Oracle load scheduling: a load becomes issue-eligible exactly when
+    every store supplying its bytes has executed; it then forwards (or reads
+    the cache) and is never wrong."""
+
+    @staticmethod
+    def blocking_stores(load: DynInst) -> tuple[int, ...]:
+        """Store seqs (dense numbering) the load must wait for."""
+        return tuple(
+            sorted({s for s in load.src_stores if s != MEMORY_SOURCE})
+        )
+
+
+@dataclass(slots=True)
+class OracleBypassDecision:
+    """What a perfect bypassing predictor would do with one dynamic load."""
+
+    #: Bypass from this store seq (dense store numbering); -1 = do not bypass.
+    bypass_store: int
+    #: Byte shift between the store's and load's addresses.
+    shift: int
+    #: Stores that must commit before a non-bypassable load may safely read
+    #: the cache (idealized delay for multi-source partial-store cases).
+    wait_stores: tuple[int, ...]
+
+
+class PerfectBypassPredictor:
+    """Oracle bypassing prediction with idealized partial-word support.
+
+    Single-source loads bypass from exactly the right store with exactly the
+    right shift.  Multi-source loads (which SMB cannot handle) are delayed
+    exactly until their youngest source store commits -- the idealized form
+    of the paper's delay mechanism.  Loads fed from memory are non-bypassing
+    and, having no in-flight sources, can never read a stale value.
+    """
+
+    @staticmethod
+    def decide(load: DynInst, store_addr: dict[int, int]) -> OracleBypassDecision:
+        """Decide for *load*; ``store_addr`` maps store seq to address."""
+        if load.containing_store != MEMORY_SOURCE:
+            source = load.containing_store
+            shift = load.addr - store_addr[source]
+            return OracleBypassDecision(
+                bypass_store=source, shift=shift, wait_stores=()
+            )
+        sources = tuple(
+            sorted({s for s in load.src_stores if s != MEMORY_SOURCE})
+        )
+        return OracleBypassDecision(bypass_store=-1, shift=0, wait_stores=sources)

@@ -1,0 +1,36 @@
+"""Workloads: benchmark profiles, the synthetic trace generator, and
+mini-ISA example programs.
+
+The paper evaluates on SPEC2000 and MediaBench, which we cannot run.  The
+substitution (see DESIGN.md) is a calibrated synthetic workload per
+benchmark: Table 5 of the paper publishes, per benchmark, the store-load
+communication statistics that NoSQ's mechanisms actually observe, and the
+generator emits traces matching those statistics.  Mini-ISA programs
+(:mod:`repro.workloads.programs`) provide real-code traces for examples and
+end-to-end correctness tests.
+"""
+
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    PROFILES,
+    MEDIA_BENCHMARKS,
+    INT_BENCHMARKS,
+    FP_BENCHMARKS,
+    SELECTED_BENCHMARKS,
+    profile,
+)
+from repro.workloads.generator import SyntheticWorkload, generate_trace
+from repro.workloads import programs
+
+__all__ = [
+    "BenchmarkProfile",
+    "PROFILES",
+    "MEDIA_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "SELECTED_BENCHMARKS",
+    "profile",
+    "SyntheticWorkload",
+    "generate_trace",
+    "programs",
+]

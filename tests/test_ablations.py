@@ -1,0 +1,73 @@
+"""Tests for the ablation-study harness."""
+
+import pytest
+
+from repro.harness.ablations import (
+    confidence_ablation,
+    hybrid_ablation,
+    load_queue_ablation,
+    render_confidence,
+    render_hybrid,
+    render_load_queue,
+    render_svw,
+    render_tssbf,
+    svw_ablation,
+    tssbf_ablation,
+)
+from repro.harness.runner import ExperimentScale
+
+TINY = ExperimentScale("tiny", num_instructions=4_000, warmup=1_500)
+BENCH = ["applu", "g721.e"]
+
+
+class TestLoadQueueAblation:
+    def test_variants_and_render(self):
+        points = load_queue_ablation(BENCH, scale=TINY)
+        assert set(points[0].cycles) == {"nosq-lq48", "nosq-nolq"}
+        text = render_load_queue(points)
+        assert "no-LQ rel." in text and "applu" in text
+
+    def test_performance_near_identical(self):
+        points = load_queue_ablation(BENCH, scale=TINY)
+        for point in points:
+            assert point.relative("nosq-nolq", "nosq-lq48") == pytest.approx(
+                1.0, abs=0.05
+            )
+
+
+class TestTssbfAblation:
+    def test_sweep_and_render(self):
+        points = tssbf_ablation(["g721.e"], scale=TINY)
+        assert "tssbf-32" in points[0].reexec_rate
+        assert "tssbf-256" in points[0].reexec_rate
+        text = render_tssbf(points)
+        assert "reexec%" in text
+
+    def test_smaller_filter_reexecutes_more(self):
+        points = tssbf_ablation(["g721.e"], scale=TINY)
+        point = points[0]
+        assert point.reexec_rate["tssbf-32"] >= point.reexec_rate["tssbf-256"]
+
+
+class TestConfidenceAblation:
+    def test_variants(self):
+        points = confidence_ablation(["g721.e"], scale=TINY)
+        assert set(points[0].mispredicts) == {
+            "conf-eager", "conf-default", "conf-sticky",
+        }
+        assert "del%" in render_confidence(points)
+
+
+class TestHybridAblation:
+    def test_variants(self):
+        points = hybrid_ablation(["applu"], scale=TINY)
+        assert set(points[0].cycles) == {"pred-hybrid", "pred-plain"}
+        assert "plain m10k" in render_hybrid(points)
+
+
+class TestSvwAblation:
+    def test_unfiltered_reexecutes_more(self):
+        points = svw_ablation(["g721.e"], scale=TINY)
+        point = points[0]
+        assert point.reexec_rate["svw-off"] > point.reexec_rate["svw-on"]
+        assert "unfiltered rel.time" in render_svw(points)

@@ -1,0 +1,125 @@
+"""Tests for the mini-ISA assembler."""
+
+import pytest
+
+from repro.isa.assembler import TEXT_BASE, AssemblerError, assemble
+from repro.isa.instructions import Register
+from repro.isa.opcodes import Opcode
+
+
+class TestBasicEncoding:
+    def test_r_type(self):
+        (inst,) = assemble("add r1, r2, r3")
+        assert inst.opcode is Opcode.ADD
+        assert (inst.rd, inst.rs1, inst.rs2) == (1, 2, 3)
+
+    def test_i_type(self):
+        (inst,) = assemble("addi r1, r2, -4")
+        assert inst.opcode is Opcode.ADDI
+        assert inst.imm == -4
+
+    def test_load_operand(self):
+        (inst,) = assemble("lw r1, 8(r2)")
+        assert inst.opcode is Opcode.LW
+        assert (inst.rd, inst.rs1, inst.imm) == (1, 2, 8)
+
+    def test_store_operand_order(self):
+        """Stores take the data register first: sb rDATA, disp(rBASE)."""
+        (inst,) = assemble("sb r7, -1(r3)")
+        assert inst.opcode is Opcode.SB
+        assert (inst.rs2, inst.rs1, inst.imm) == (7, 3, -1)
+
+    def test_fp_registers(self):
+        (inst,) = assemble("fadd f1, f2, f3")
+        assert inst.rd == 33 and inst.rs1 == 34 and inst.rs2 == 35
+
+    def test_hex_immediates(self):
+        (inst,) = assemble("addi r1, r0, 0x10")
+        assert inst.imm == 16
+
+    def test_register_aliases(self):
+        (inst,) = assemble("jal ra, 0x2000")
+        assert inst.rd == 1
+        (inst,) = assemble("ld r9, 0(sp)")
+        assert inst.rs1 == 2
+
+
+class TestLabelsAndPCs:
+    def test_sequential_pcs(self):
+        program = assemble("nop\nnop\nnop")
+        assert [i.pc for i in program] == [TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8]
+
+    def test_backward_branch_label(self):
+        program = assemble(
+            """
+            loop:
+                addi r1, r1, 1
+                bne r1, r2, loop
+            """
+        )
+        assert program[1].imm == TEXT_BASE
+
+    def test_forward_branch_label(self):
+        program = assemble(
+            """
+                beq r1, r2, done
+                addi r1, r1, 1
+            done:
+                nop
+            """
+        )
+        assert program[0].imm == TEXT_BASE + 8
+
+    def test_label_on_same_line(self):
+        program = assemble("start: nop")
+        assert program[0].pc == TEXT_BASE
+
+    def test_comments_ignored(self):
+        program = assemble("nop ; comment\n# whole line\nnop")
+        assert len(program) == 2
+
+    def test_ret_implies_ra(self):
+        (inst,) = assemble("ret")
+        assert inst.rs1 == Register.parse("ra")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r99, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("a: nop\na: nop")
+
+    def test_undefined_label_is_parsed_as_int(self):
+        with pytest.raises(AssemblerError):
+            assemble("beq r1, r2, nowhere")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            assemble("lw r1, r2")
+
+
+class TestRegisterNames:
+    def test_roundtrip(self):
+        for index in range(64):
+            assert Register.parse(Register.name(index)) == index
+
+    def test_is_fp(self):
+        assert not Register.is_fp(31)
+        assert Register.is_fp(32)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Register.name(64)
+        with pytest.raises(ValueError):
+            Register.parse("x5")

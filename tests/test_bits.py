@@ -1,0 +1,95 @@
+"""Unit and property tests for the bit-manipulation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import bits
+
+WORD = st.integers(min_value=0, max_value=bits.WORD_MASK)
+SIZES = st.sampled_from([1, 2, 4, 8])
+
+
+class TestMasks:
+    def test_mask_sizes(self):
+        assert bits.mask(1) == 0xFF
+        assert bits.mask(2) == 0xFFFF
+        assert bits.mask(4) == 0xFFFF_FFFF
+        assert bits.mask(8) == bits.WORD_MASK
+
+    def test_truncate(self):
+        assert bits.truncate(0x1234_5678_9ABC_DEF0, 4) == 0x9ABC_DEF0
+        assert bits.truncate(0x1234_5678_9ABC_DEF0, 1) == 0xF0
+
+
+class TestSignExtension:
+    def test_sign_extend_negative_byte(self):
+        assert bits.sign_extend(0x80, 1) == 0xFFFF_FFFF_FFFF_FF80
+
+    def test_sign_extend_positive_byte(self):
+        assert bits.sign_extend(0x7F, 1) == 0x7F
+
+    def test_zero_extend_never_sets_high_bits(self):
+        assert bits.zero_extend(0xFF, 1) == 0xFF
+        assert bits.zero_extend(0xFFFF, 2) == 0xFFFF
+
+    @given(WORD, SIZES)
+    def test_extend_agree_on_nonnegative(self, value, size):
+        truncated = bits.truncate(value, size)
+        if not truncated & (1 << (8 * size - 1)):
+            assert bits.sign_extend(value, size) == bits.zero_extend(value, size)
+
+    @given(WORD, SIZES)
+    def test_signed_roundtrip(self, value, size):
+        signed = bits.to_signed(value, size)
+        assert bits.to_unsigned(signed, size) == bits.truncate(value, size)
+
+    @given(WORD, SIZES)
+    def test_to_signed_range(self, value, size):
+        signed = bits.to_signed(value, size)
+        limit = 1 << (8 * size - 1)
+        assert -limit <= signed < limit
+
+
+class TestExtractBytes:
+    def test_extract_low_half(self):
+        assert bits.extract_bytes(0x1122_3344_5566_7788, 0, 4) == 0x5566_7788
+
+    def test_extract_high_half(self):
+        assert bits.extract_bytes(0x1122_3344_5566_7788, 4, 4) == 0x1122_3344
+
+    def test_extract_middle_byte(self):
+        assert bits.extract_bytes(0x1122_3344_5566_7788, 2, 1) == 0x66
+
+    @given(WORD, st.integers(min_value=0, max_value=7), SIZES)
+    def test_extract_within_mask(self, value, shift, size):
+        assert bits.extract_bytes(value, shift, size) <= bits.mask(size)
+
+
+class TestFloatConversions:
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_single_roundtrip(self, value):
+        assert bits.bits_to_single(bits.single_to_bits(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_double_roundtrip(self, value):
+        assert bits.bits_to_double(bits.double_to_bits(value)) == value
+
+    def test_single_overflow_becomes_infinity(self):
+        pattern = bits.single_to_bits(1e300)
+        assert math.isinf(bits.bits_to_single(pattern))
+        pattern = bits.single_to_bits(-1e300)
+        assert bits.bits_to_single(pattern) == -math.inf
+
+    def test_nan_is_preserved_as_nan(self):
+        pattern = bits.single_to_bits(math.nan)
+        assert math.isnan(bits.bits_to_single(pattern))
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_lds_sts_roundtrip(self, value):
+        """sts then lds restores the in-register representation of any
+        value that fits single precision."""
+        in_register = bits.double_to_bits(value)
+        in_memory = bits.double_bits_to_single_bits(in_register)
+        assert bits.single_bits_to_double_bits(in_memory) == in_register

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quake3"])
+
+    def test_scale_defaults(self):
+        args = build_parser().parse_args(["run", "gzip"])
+        assert args.instructions == 30_000
+        assert args.warmup is None
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "mesa.o" in out
+        assert out.count("\n") > 47
+
+    def test_run(self, capsys):
+        assert main(["run", "applu", "-n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "sq-storesets" in out
+        assert "nosq-delay" in out
+        assert "mispred/10k" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "applu", "adpcm.d", "-n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "adpcm.d" in out and "D$ reads rel." in out
+
+    def test_table5_subset(self, capsys):
+        assert main(["table5", "applu", "-n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "applu" in out and "comm%" in out
+
+    def test_figure2_subset(self, capsys):
+        assert main(["figure2", "applu", "-n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "nosq-delay (rel)" in out
+
+    def test_program(self, capsys):
+        assert main(["program", "memcpy"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-wise copy" in out
+
+    def test_program_unknown(self, capsys):
+        assert main(["program", "doom"]) == 1
+        assert "unknown program" in capsys.readouterr().err
+
+    def test_explicit_warmup(self, capsys):
+        assert main(["run", "applu", "-n", "3000", "-w", "1000"]) == 0
+        assert "(1000 warmup)" in capsys.readouterr().out

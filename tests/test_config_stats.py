@@ -1,0 +1,99 @@
+"""Tests for machine configurations and run statistics."""
+
+import pytest
+
+from repro.pipeline import BypassKind, MachineConfig, Mode, RunStats, SchedulerKind
+
+
+class TestConfigFactories:
+    def test_conventional_defaults(self):
+        config = MachineConfig.conventional()
+        assert config.mode is Mode.CONVENTIONAL
+        assert config.scheduler is SchedulerKind.STORESETS
+        assert config.sq_size == 24
+        assert config.lq_size == 48
+        assert config.backend.depth == 6
+
+    def test_perfect_scheduling_variant(self):
+        config = MachineConfig.conventional(perfect_scheduling=True)
+        assert config.scheduler is SchedulerKind.PERFECT
+        assert config.name == "sq-perfect"
+
+    def test_nosq_eliminates_queues(self):
+        config = MachineConfig.nosq()
+        assert config.mode is Mode.NOSQ
+        assert config.sq_size == 0
+        assert config.lq_size is None       # load-queue-free design point
+        assert config.backend.depth == 8
+        assert config.delay_enabled
+
+    def test_nosq_no_delay(self):
+        config = MachineConfig.nosq(delay=False)
+        assert not config.delay_enabled
+        assert config.name == "nosq-nodelay"
+
+    def test_nosq_perfect(self):
+        config = MachineConfig.nosq(perfect=True)
+        assert config.bypass is BypassKind.PERFECT
+
+    def test_paper_machine_parameters(self):
+        """Section 4.1's numbers."""
+        config = MachineConfig.conventional()
+        assert config.width == 4
+        assert config.rob_size == 128
+        assert config.iq_size == 40
+        assert config.phys_regs == 160
+        assert config.ssn_bits == 20
+        assert config.tssbf_entries == 128
+        assert config.tssbf_assoc == 4
+
+    def test_window_256_scaling(self):
+        """Section 4.4: window resources doubled, branch predictor
+        quadrupled, bypassing predictor unchanged."""
+        config = MachineConfig.nosq(window=256)
+        assert config.rob_size == 256
+        assert config.iq_size == 80
+        assert config.phys_regs == 320
+        assert config.bp_table_entries == 4 * 4096
+        assert config.bypass_predictor.entries_per_table == 1024  # unchanged
+        assert config.name.endswith("-w256")
+
+    def test_conventional_256_scales_queues(self):
+        config = MachineConfig.conventional(window=256)
+        assert config.sq_size == 48
+        assert config.lq_size == 96
+
+    def test_unsupported_window_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig.nosq(window=512)
+
+
+class TestRunStats:
+    def test_derived_metrics(self):
+        stats = RunStats(cycles=100, instructions=250, loads=50)
+        assert stats.ipc == 2.5
+        stats.flush_wrong_store = 2
+        stats.flush_should_have_bypassed = 3
+        assert stats.bypass_mispredictions == 5
+        assert stats.mispredicts_per_10k_loads == pytest.approx(1000.0)
+
+    def test_zero_safe(self):
+        stats = RunStats()
+        assert stats.ipc == 0.0
+        assert stats.mispredicts_per_10k_loads == 0.0
+        assert stats.reexec_rate == 0.0
+
+    def test_percentages(self):
+        stats = RunStats(loads=200, bypassed_loads=20, delayed_loads=5)
+        assert stats.pct_loads_bypassed == 10.0
+        assert stats.pct_loads_delayed == 2.5
+
+    def test_total_dcache_reads(self):
+        stats = RunStats(ooo_dcache_reads=10, backend_dcache_reads=3)
+        assert stats.total_dcache_reads == 13
+
+    def test_as_dict_includes_derived(self):
+        stats = RunStats(cycles=10, instructions=20)
+        table = stats.as_dict()
+        assert table["ipc"] == 2.0
+        assert "mispredicts_per_10k_loads" in table

@@ -1,0 +1,192 @@
+"""Tests for the functional executor: instruction semantics and traces."""
+
+import pytest
+
+from repro.isa import bits
+from repro.isa.assembler import assemble
+from repro.isa.executor import ExecutionLimitExceeded, FunctionalExecutor
+from repro.isa.instructions import Register
+from repro.memory import SparseMemory
+
+
+def run(source, regs=None, memory=None, max_instructions=100_000):
+    executor = FunctionalExecutor(assemble(source), memory)
+    for name, value in (regs or {}).items():
+        executor.set_reg(Register.parse(name), value)
+    return executor.run(max_instructions=max_instructions)
+
+
+class TestArithmetic:
+    def test_add_sub_wraparound(self):
+        result = run("add r3, r1, r2\nsub r4, r1, r2\nhalt",
+                     regs={"r1": bits.WORD_MASK, "r2": 1})
+        assert result.reg(3) == 0
+        assert result.reg(4) == bits.WORD_MASK - 1
+
+    def test_logic_ops(self):
+        result = run(
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nhalt",
+            regs={"r1": 0xF0F0, "r2": 0x0FF0},
+        )
+        assert result.reg(3) == 0x00F0
+        assert result.reg(4) == 0xFFF0
+        assert result.reg(5) == 0xFF00
+
+    def test_shifts(self):
+        result = run(
+            "slli r3, r1, 4\nsrli r4, r1, 4\nsra r5, r2, r6\nhalt",
+            regs={"r1": 0x10, "r2": bits.to_unsigned(-16), "r6": 2},
+        )
+        assert result.reg(3) == 0x100
+        assert result.reg(4) == 0x1
+        assert bits.to_signed(result.reg(5)) == -4
+
+    def test_slt_signed(self):
+        result = run("slt r3, r1, r2\nhalt",
+                     regs={"r1": bits.to_unsigned(-5), "r2": 3})
+        assert result.reg(3) == 1
+
+    def test_mul_div(self):
+        result = run("mul r3, r1, r2\ndiv r4, r1, r2\nhalt",
+                     regs={"r1": 100, "r2": 7})
+        assert result.reg(3) == 700
+        assert result.reg(4) == 14
+
+    def test_div_by_zero_is_all_ones(self):
+        result = run("div r3, r1, r2\nhalt", regs={"r1": 5, "r2": 0})
+        assert result.reg(3) == bits.WORD_MASK
+
+    def test_lui(self):
+        result = run("lui r3, 0x12\nhalt")
+        assert result.reg(3) == 0x12 << 16
+
+    def test_r0_is_hardwired_zero(self):
+        result = run("addi r0, r0, 5\nadd r3, r0, r0\nhalt")
+        assert result.reg(0) == 0
+        assert result.reg(3) == 0
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip_all_sizes(self):
+        result = run(
+            """
+            sb r1, 0(r2)
+            sh r1, 8(r2)
+            sw r1, 16(r2)
+            sd r1, 24(r2)
+            lbu r10, 0(r2)
+            lhu r11, 8(r2)
+            lwu r12, 16(r2)
+            ld  r13, 24(r2)
+            halt
+            """,
+            regs={"r1": 0x1122_3344_5566_7788, "r2": 0x4000},
+        )
+        assert result.reg(10) == 0x88
+        assert result.reg(11) == 0x7788
+        assert result.reg(12) == 0x5566_7788
+        assert result.reg(13) == 0x1122_3344_5566_7788
+
+    def test_signed_loads_extend(self):
+        result = run(
+            "sb r1, 0(r2)\nlb r10, 0(r2)\nlbu r11, 0(r2)\nhalt",
+            regs={"r1": 0xFF, "r2": 0x4000},
+        )
+        assert result.reg(10) == bits.WORD_MASK
+        assert result.reg(11) == 0xFF
+
+    def test_lds_sts_roundtrip(self):
+        result = run(
+            """
+            fcvt f1, r1          ; f1 = 3.0
+            sts  f1, 0(r2)
+            lds  f2, 0(r2)
+            fadd f3, f2, f2
+            halt
+            """,
+            regs={"r1": 3, "r2": 0x4000},
+        )
+        assert bits.bits_to_double(result.reg(34)) == 3.0
+        assert bits.bits_to_double(result.reg(35)) == 6.0
+
+    def test_memory_annotations_present(self):
+        result = run(
+            "sd r1, 0(r2)\nld r3, 0(r2)\nhalt",
+            regs={"r1": 42, "r2": 0x4000},
+        )
+        load = result.trace[1]
+        assert load.containing_store == 0
+        assert load.addr == 0x4000
+
+
+class TestControlFlow:
+    def test_loop_iterations(self):
+        result = run(
+            """
+                add r1, r0, r0
+            loop:
+                addi r1, r1, 1
+                bne r1, r2, loop
+                halt
+            """,
+            regs={"r2": 10},
+        )
+        assert result.reg(1) == 10
+        branches = [i for i in result.trace if i.is_branch]
+        assert len(branches) == 10
+        assert sum(i.taken for i in branches) == 9
+
+    def test_call_and_return(self):
+        result = run(
+            """
+                jal ra, func
+                addi r3, r3, 100
+                halt
+            func:
+                addi r3, r3, 1
+                ret
+            """
+        )
+        assert result.reg(3) == 101
+        calls = [i for i in result.trace if i.is_call]
+        rets = [i for i in result.trace if i.is_return]
+        assert len(calls) == 1 and len(rets) == 1
+        assert rets[0].target == calls[0].pc + 4
+
+    def test_jalr_indirect(self):
+        result = run(
+            """
+                jalr ra, r5
+                halt
+            """,
+            regs={"r5": 0x1008},
+        )
+        # Jumps past the halt... to pc 0x1008 which is off the end: stops.
+        assert not result.halted
+        assert result.trace[0].taken
+
+    def test_branch_annotations(self):
+        result = run("beq r1, r2, 0x1008\nnop\nhalt", regs={"r1": 1, "r2": 2})
+        branch = result.trace[0]
+        assert branch.taken is False
+        assert branch.target == 0x1008
+
+
+class TestLimitsAndTermination:
+    def test_infinite_loop_raises(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run("loop: beq r0, r0, loop\nhalt", max_instructions=1000)
+
+    def test_halt_stops(self):
+        result = run("halt\nnop")
+        assert result.halted
+        assert result.instructions == 0
+
+    def test_fall_off_end(self):
+        result = run("nop")
+        assert not result.halted
+        assert result.instructions == 1
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalExecutor([], SparseMemory())

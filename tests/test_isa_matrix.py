@@ -1,0 +1,193 @@
+"""Exhaustive coverage of the mini-ISA: every opcode through the assembler
+and functional executor, plus consistency checks on the opcode tables."""
+
+import pytest
+
+from repro.isa import bits
+from repro.isa.assembler import assemble
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.instructions import Register
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    CALL_OPS,
+    EXEC_LATENCY,
+    FP_DATA_OPS,
+    LOAD_OPS,
+    MEM_SIZE,
+    Opcode,
+    OpClass,
+    STORE_OPS,
+    op_class,
+)
+
+
+def run(source, regs=None):
+    executor = FunctionalExecutor(assemble(source))
+    for name, value in (regs or {}).items():
+        executor.set_reg(Register.parse(name), value)
+    return executor.run()
+
+
+class TestOpcodeTables:
+    def test_every_opcode_has_latency(self):
+        for opcode in Opcode:
+            assert opcode in EXEC_LATENCY
+            assert EXEC_LATENCY[opcode] >= 1
+
+    def test_complex_ops_are_slower(self):
+        assert EXEC_LATENCY[Opcode.MUL] > EXEC_LATENCY[Opcode.ADD]
+        assert EXEC_LATENCY[Opcode.FDIV] > EXEC_LATENCY[Opcode.FADD]
+
+    def test_mem_size_covers_all_memory_ops(self):
+        for opcode in LOAD_OPS | STORE_OPS:
+            assert MEM_SIZE[opcode] in (1, 2, 4, 8)
+
+    def test_op_class_partition(self):
+        for opcode in Opcode:
+            cls = op_class(opcode)
+            if opcode in LOAD_OPS:
+                assert cls is OpClass.LOAD
+            elif opcode in STORE_OPS:
+                assert cls is OpClass.STORE
+            elif opcode in BRANCH_OPS or opcode in CALL_OPS or opcode is Opcode.RET:
+                assert cls is OpClass.BRANCH
+            elif opcode in (Opcode.NOP, Opcode.HALT):
+                assert cls is OpClass.NOP
+            else:
+                assert cls in (OpClass.ALU, OpClass.COMPLEX)
+
+    def test_fp_data_ops_are_marked(self):
+        assert Opcode.LDS in FP_DATA_OPS
+        assert Opcode.STS in FP_DATA_OPS
+        assert Opcode.LW not in FP_DATA_OPS
+
+
+#: (source, input regs, checked reg, expected value) — one row per ALU op.
+ALU_CASES = [
+    ("add r3, r1, r2", {"r1": 7, "r2": 5}, 3, 12),
+    ("sub r3, r1, r2", {"r1": 7, "r2": 5}, 3, 2),
+    ("and r3, r1, r2", {"r1": 0b1100, "r2": 0b1010}, 3, 0b1000),
+    ("or  r3, r1, r2", {"r1": 0b1100, "r2": 0b1010}, 3, 0b1110),
+    ("xor r3, r1, r2", {"r1": 0b1100, "r2": 0b1010}, 3, 0b0110),
+    ("sll r3, r1, r2", {"r1": 1, "r2": 12}, 3, 1 << 12),
+    ("srl r3, r1, r2", {"r1": 1 << 12, "r2": 12}, 3, 1),
+    ("sra r3, r1, r2", {"r1": bits.to_unsigned(-64), "r2": 3}, 3,
+     bits.to_unsigned(-8)),
+    ("slt r3, r1, r2", {"r1": bits.to_unsigned(-1), "r2": 0}, 3, 1),
+    ("slt r3, r1, r2", {"r1": 1, "r2": 0}, 3, 0),
+    ("addi r3, r1, 100", {"r1": 1}, 3, 101),
+    ("addi r3, r1, -1", {"r1": 0}, 3, bits.WORD_MASK),
+    ("andi r3, r1, 0xF", {"r1": 0x1234}, 3, 0x4),
+    ("ori  r3, r1, 0xF0", {"r1": 0x4}, 3, 0xF4),
+    ("xori r3, r1, 0xFF", {"r1": 0x0F}, 3, 0xF0),
+    ("slli r3, r1, 8", {"r1": 0xAB}, 3, 0xAB00),
+    ("srli r3, r1, 8", {"r1": 0xAB00}, 3, 0xAB),
+    ("lui  r3, 0x1234", {}, 3, 0x1234 << 16),
+    ("mul r3, r1, r2", {"r1": 1 << 40, "r2": 1 << 30}, 3,
+     (1 << 70) & bits.WORD_MASK),
+    ("div r3, r1, r2", {"r1": bits.to_unsigned(-100), "r2": 7}, 3,
+     bits.to_unsigned(-14)),
+]
+
+
+class TestALUMatrix:
+    @pytest.mark.parametrize(
+        "source,regs,out_reg,expected", ALU_CASES,
+        ids=[c[0].split()[0] + f"_{i}" for i, c in enumerate(ALU_CASES)],
+    )
+    def test_alu_semantics(self, source, regs, out_reg, expected):
+        result = run(source + "\nhalt", regs)
+        assert result.reg(out_reg) == expected
+
+
+class TestFPMatrix:
+    def test_fadd_fsub_fmul_fdiv(self):
+        result = run(
+            """
+            fcvt f1, r1
+            fcvt f2, r2
+            fadd f3, f1, f2
+            fsub f4, f1, f2
+            fmul f5, f1, f2
+            fdiv f6, f1, f2
+            halt
+            """,
+            {"r1": 6, "r2": 3},
+        )
+        values = [bits.bits_to_double(result.reg(32 + i)) for i in (3, 4, 5, 6)]
+        assert values == [9.0, 3.0, 18.0, 2.0]
+
+    def test_fdiv_by_zero_is_infinite(self):
+        result = run("fcvt f1, r1\nfdiv f3, f1, f2\nhalt", {"r1": 1})
+        assert bits.bits_to_double(result.reg(35)) == float("inf")
+
+    def test_fcvt_negative(self):
+        result = run("fcvt f1, r1\nhalt", {"r1": bits.to_unsigned(-5)})
+        assert bits.bits_to_double(result.reg(33)) == -5.0
+
+    def test_std_ldd_roundtrip(self):
+        result = run(
+            """
+            fcvt f1, r1
+            std  f1, 0(r2)
+            ldd  f2, 0(r2)
+            halt
+            """,
+            {"r1": 42, "r2": 0x4000},
+        )
+        assert result.reg(34) == result.reg(33)
+
+
+class TestMemoryMatrix:
+    @pytest.mark.parametrize("store,load,expected_low", [
+        ("sb", "lbu", 0x88),
+        ("sh", "lhu", 0x7788),
+        ("sw", "lwu", 0x55667788),
+        ("sd", "ld", 0x1122334455667788),
+    ])
+    def test_size_pairs(self, store, load, expected_low):
+        result = run(
+            f"{store} r1, 0(r2)\n{load} r10, 0(r2)\nhalt",
+            {"r1": 0x1122334455667788, "r2": 0x4000},
+        )
+        assert result.reg(10) == expected_low
+
+    @pytest.mark.parametrize("load,stored,expected", [
+        ("lb", 0x80, bits.sign_extend(0x80, 1)),
+        ("lh", 0x8000, bits.sign_extend(0x8000, 2)),
+        ("lw", 0x8000_0000, bits.sign_extend(0x8000_0000, 4)),
+    ])
+    def test_signed_loads(self, load, stored, expected):
+        result = run(
+            f"sd r1, 0(r2)\n{load} r10, 0(r2)\nhalt",
+            {"r1": stored, "r2": 0x4000},
+        )
+        assert result.reg(10) == expected
+
+    def test_negative_displacement(self):
+        result = run(
+            "sd r1, -8(r2)\nld r10, -8(r2)\nhalt",
+            {"r1": 99, "r2": 0x4010},
+        )
+        assert result.reg(10) == 99
+
+
+class TestBranchMatrix:
+    @pytest.mark.parametrize("op,a,b,taken", [
+        ("beq", 5, 5, True), ("beq", 5, 6, False),
+        ("bne", 5, 6, True), ("bne", 5, 5, False),
+        ("blt", bits.to_unsigned(-1), 0, True), ("blt", 1, 0, False),
+        ("bge", 0, 0, True), ("bge", bits.to_unsigned(-1), 0, False),
+    ])
+    def test_conditions(self, op, a, b, taken):
+        result = run(
+            f"""
+                {op} r1, r2, skip
+                addi r3, r3, 1
+            skip:
+                halt
+            """,
+            {"r1": a, "r2": b},
+        )
+        assert result.trace[0].taken is taken
+        assert result.reg(3) == (0 if taken else 1)

@@ -1,0 +1,115 @@
+"""Tests for StoreSets and the oracle predictors."""
+
+from repro.predictors import PerfectBypassPredictor, PerfectScheduler, StoreSets
+from tests.conftest import build_trace
+
+
+class TestStoreSets:
+    def test_untrained_predicts_nothing(self):
+        predictor = StoreSets()
+        assert predictor.load_dependence(0x1000) is None
+
+    def test_violation_creates_dependence(self):
+        predictor = StoreSets()
+        predictor.train_violation(load_pc=0x1000, store_pc=0x2000)
+        handle = object()
+        predictor.store_renamed(0x2000, handle)
+        assert predictor.load_dependence(0x1000) is handle
+
+    def test_lfst_tracks_most_recent_instance(self):
+        predictor = StoreSets()
+        predictor.train_violation(0x1000, 0x2000)
+        old, new = object(), object()
+        predictor.store_renamed(0x2000, old)
+        predictor.store_renamed(0x2000, new)
+        assert predictor.load_dependence(0x1000) is new
+
+    def test_store_retired_invalidates(self):
+        predictor = StoreSets()
+        predictor.train_violation(0x1000, 0x2000)
+        handle = object()
+        predictor.store_renamed(0x2000, handle)
+        predictor.store_retired(0x2000, handle)
+        assert predictor.load_dependence(0x1000) is None
+
+    def test_retire_of_stale_handle_keeps_newer(self):
+        predictor = StoreSets()
+        predictor.train_violation(0x1000, 0x2000)
+        old, new = object(), object()
+        predictor.store_renamed(0x2000, old)
+        predictor.store_renamed(0x2000, new)
+        predictor.store_retired(0x2000, old)
+        assert predictor.load_dependence(0x1000) is new
+
+    def test_join_existing_set(self):
+        predictor = StoreSets()
+        predictor.train_violation(0x1000, 0x2000)
+        predictor.train_violation(0x1000, 0x3000)  # store joins load's set
+        handle = object()
+        predictor.store_renamed(0x3000, handle)
+        assert predictor.load_dependence(0x1000) is handle
+
+    def test_merge_counts(self):
+        predictor = StoreSets()
+        predictor.train_violation(0x1000, 0x2000)
+        predictor.train_violation(0x3000, 0x4000)
+        predictor.train_violation(0x1000, 0x4000)  # merges the two sets
+        assert predictor.stats.merges == 1
+
+    def test_clear(self):
+        predictor = StoreSets()
+        predictor.train_violation(0x1000, 0x2000)
+        predictor.store_renamed(0x2000, object())
+        predictor.clear()
+        assert predictor.load_dependence(0x1000) is None
+
+    def test_load_waits_counted(self):
+        predictor = StoreSets()
+        predictor.train_violation(0x1000, 0x2000)
+        predictor.store_renamed(0x2000, object())
+        predictor.load_dependence(0x1000)
+        assert predictor.stats.load_waits == 1
+
+
+class TestPerfectScheduler:
+    def test_blocking_stores(self):
+        trace = build_trace([
+            ("st", 0x100, 1, 8),
+            ("st", 0x101, 1, 8),
+            ("ld", 0x100, 2),
+        ])
+        assert PerfectScheduler.blocking_stores(trace[2]) == (0, 1)
+
+    def test_memory_load_has_no_blockers(self):
+        trace = build_trace([("ld", 0x100, 8)])
+        assert PerfectScheduler.blocking_stores(trace[0]) == ()
+
+
+class TestPerfectBypassPredictor:
+    def test_single_source_bypasses_with_shift(self):
+        trace = build_trace([
+            ("st", 0x100, 8, 8),
+            ("ld", 0x104, 4),
+        ])
+        decision = PerfectBypassPredictor.decide(trace[1], {0: 0x100})
+        assert decision.bypass_store == 0
+        assert decision.shift == 4
+        assert decision.wait_stores == ()
+
+    def test_multi_source_waits(self):
+        trace = build_trace([
+            ("st", 0x100, 1, 8),
+            ("st", 0x101, 1, 8),
+            ("ld", 0x100, 2),
+        ])
+        decision = PerfectBypassPredictor.decide(
+            trace[2], {0: 0x100, 1: 0x101}
+        )
+        assert decision.bypass_store == -1
+        assert decision.wait_stores == (0, 1)
+
+    def test_memory_load_plain(self):
+        trace = build_trace([("ld", 0x100, 8)])
+        decision = PerfectBypassPredictor.decide(trace[0], {})
+        assert decision.bypass_store == -1
+        assert decision.wait_stores == ()

@@ -1,0 +1,156 @@
+"""Property-based tests of the timing model.
+
+The central safety property: *no silent wrong commit*.  The processor
+internally raises :class:`SimulationError` if the SVW filter ever exempts a
+load with a stale/wrong value from re-execution, so simply running randomized
+traces to completion -- with tiny filter/predictor structures to maximize
+aliasing and eviction stress -- proves the verification logic sound over the
+explored space.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bypass_predictor import BypassPredictorConfig
+from repro.pipeline import MachineConfig, simulate
+from tests.conftest import build_trace
+
+# Small slot space => frequent address collisions; repeated PC blocks =>
+# predictor training and mispredictions; branches => path history churn.
+OP = st.one_of(
+    st.tuples(st.just("st"),
+              st.integers(min_value=0, max_value=11),     # slot
+              st.sampled_from([1, 2, 4, 8]),
+              st.integers(min_value=0, max_value=3)),     # pc site
+    st.tuples(st.just("ld"),
+              st.integers(min_value=0, max_value=11),
+              st.sampled_from([1, 2, 4, 8]),
+              st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("alu"), st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("br"), st.booleans(), st.integers(min_value=0, max_value=1)),
+)
+
+
+def trace_from(ops):
+    specs = []
+    for op in ops:
+        if op[0] == "st":
+            _, slot, size, site = op
+            addr = 0x8000 + 8 * slot
+            addr -= addr % size
+            specs.append(("st", addr, size, 8, {"pc": 0x2000 + 16 * site}))
+        elif op[0] == "ld":
+            _, slot, size, site = op
+            addr = 0x8000 + 8 * slot
+            addr -= addr % size
+            specs.append(("ld", addr, size, {"pc": 0x2004 + 16 * site}))
+        elif op[0] == "alu":
+            specs.append(("alu", 8 + op[1], {"pc": 0x3000}))
+        else:
+            specs.append(("br", op[1], {"pc": 0x3100 + 16 * op[2]}))
+    return build_trace(specs)
+
+
+def stressed(config: MachineConfig) -> MachineConfig:
+    """Shrink verification structures to maximize aliasing stress."""
+    return dataclasses.replace(
+        config,
+        tssbf_entries=8,
+        tssbf_assoc=2,
+        bypass_predictor=BypassPredictorConfig(entries_per_table=16, assoc=2),
+    )
+
+
+class TestNoSilentWrongCommit:
+    """Running to completion implies every stale value was caught."""
+
+    @given(st.lists(OP, min_size=1, max_size=120))
+    @settings(max_examples=80, deadline=None)
+    def test_nosq_with_delay(self, ops):
+        trace = trace_from(ops)
+        stats = simulate(stressed(MachineConfig.nosq(delay=True)), trace)
+        assert stats.instructions == len(trace)
+
+    @given(st.lists(OP, min_size=1, max_size=120))
+    @settings(max_examples=80, deadline=None)
+    def test_nosq_without_delay(self, ops):
+        trace = trace_from(ops)
+        stats = simulate(stressed(MachineConfig.nosq(delay=False)), trace)
+        assert stats.instructions == len(trace)
+
+    @given(st.lists(OP, min_size=1, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_conventional(self, ops):
+        trace = trace_from(ops)
+        stats = simulate(stressed(MachineConfig.conventional()), trace)
+        assert stats.instructions == len(trace)
+
+    @given(st.lists(OP, min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_tiny_ssn_space_with_drains(self, ops):
+        config = stressed(MachineConfig.nosq())
+        config = dataclasses.replace(config, ssn_bits=4)
+        trace = trace_from(ops)
+        stats = simulate(config, trace)
+        assert stats.instructions == len(trace)
+
+
+class TestOracleConfigurations:
+    @given(st.lists(OP, min_size=1, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_smb_never_flushes(self, ops):
+        trace = trace_from(ops)
+        stats = simulate(MachineConfig.nosq(perfect=True), trace)
+        assert stats.flushes == 0
+        assert stats.instructions == len(trace)
+
+    @given(st.lists(OP, min_size=1, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_scheduling_never_flushes(self, ops):
+        trace = trace_from(ops)
+        stats = simulate(
+            MachineConfig.conventional(perfect_scheduling=True), trace
+        )
+        assert stats.flushes == 0
+        assert stats.instructions == len(trace)
+
+
+class TestInvariants:
+    @given(st.lists(OP, min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_load_classification_partitions(self, ops):
+        trace = trace_from(ops)
+        stats = simulate(MachineConfig.nosq(), trace)
+        assert (
+            stats.bypassed_loads + stats.delayed_loads + stats.nonbypassed_loads
+            == stats.loads
+        )
+        assert stats.bypass_identity + stats.bypass_injected == stats.bypassed_loads
+
+    @given(st.lists(OP, min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_composition_matches_trace(self, ops):
+        trace = trace_from(ops)
+        stats = simulate(MachineConfig.nosq(), trace)
+        assert stats.loads == sum(i.is_load for i in trace)
+        assert stats.stores == sum(i.is_store for i in trace)
+        assert stats.branches == sum(i.is_branch for i in trace)
+
+    @given(st.lists(OP, min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, ops):
+        trace = trace_from(ops)
+        first = simulate(MachineConfig.nosq(), trace)
+        second = simulate(MachineConfig.nosq(), trace)
+        assert first.cycles == second.cycles
+        assert first.flushes == second.flushes
+        assert first.bypassed_loads == second.bypassed_loads
+
+    @given(st.lists(OP, min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_bounded(self, ops):
+        """IPC cannot exceed the machine width; cycles stay finite."""
+        trace = trace_from(ops)
+        stats = simulate(MachineConfig.nosq(), trace)
+        assert stats.cycles >= len(trace) / 4

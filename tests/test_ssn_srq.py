@@ -1,0 +1,111 @@
+"""Tests for SSN counters and the store register queue."""
+
+import pytest
+
+from repro.core import SRQEntry, SSNCounters, StoreRegisterQueue
+
+
+class TestSSNCounters:
+    def test_monotonic_rename(self):
+        ssn = SSNCounters()
+        first, _ = ssn.next_rename()
+        second, _ = ssn.next_rename()
+        assert (first, second) == (1, 2)
+
+    def test_in_flight_occupancy(self):
+        ssn = SSNCounters()
+        ssn.next_rename()
+        ssn.next_rename()
+        assert ssn.in_flight == 2
+        ssn.advance_commit()
+        assert ssn.in_flight == 1
+
+    def test_commit_cannot_pass_rename(self):
+        ssn = SSNCounters()
+        with pytest.raises(RuntimeError):
+            ssn.advance_commit()
+
+    def test_squash_rolls_back_rename(self):
+        ssn = SSNCounters()
+        for _ in range(5):
+            ssn.next_rename()
+        ssn.advance_commit()
+        ssn.squash_to(3)
+        assert ssn.rename == 3
+        with pytest.raises(ValueError):
+            ssn.squash_to(0)   # below SSNcommit
+
+    def test_wraparound_signals_drain(self):
+        ssn = SSNCounters(bits=4)   # wraps at 16
+        wrapped_at = None
+        for i in range(20):
+            value, wrapped = ssn.next_rename()
+            ssn.advance_commit()
+            if wrapped:
+                wrapped_at = i
+                assert value == 1   # renumbered from scratch
+                break
+        assert wrapped_at is not None
+        assert ssn.wraps == 1
+
+    def test_minimum_bits(self):
+        with pytest.raises(ValueError):
+            SSNCounters(bits=2)
+
+
+def _srq_entry(ssn, store_seq=0, size=8, fp=False):
+    return SRQEntry(
+        ssn=ssn, def_producer=None, store_seq=store_seq, size=size,
+        fp_convert=fp,
+    )
+
+
+class TestStoreRegisterQueue:
+    def test_insert_lookup_retire(self):
+        srq = StoreRegisterQueue(capacity=8)
+        srq.insert(_srq_entry(1))
+        assert srq.lookup(1).ssn == 1
+        srq.retire(1)
+        assert srq.lookup(1) is None
+
+    def test_lookup_miss_for_absent_ssn(self):
+        srq = StoreRegisterQueue(capacity=8)
+        srq.insert(_srq_entry(1))
+        assert srq.lookup(9) is None   # same slot, different SSN
+
+    def test_slot_collision_detected(self):
+        srq = StoreRegisterQueue(capacity=8)
+        srq.insert(_srq_entry(1))
+        with pytest.raises(RuntimeError):
+            srq.insert(_srq_entry(9))   # 9 % 8 == 1 % 8
+
+    def test_reinsert_same_ssn_allowed(self):
+        """Flush replay re-renames the same store with the same SSN."""
+        srq = StoreRegisterQueue(capacity=8)
+        srq.insert(_srq_entry(1))
+        srq.insert(_srq_entry(1, store_seq=0, size=4))
+        assert srq.lookup(1).size == 4
+
+    def test_squash_above(self):
+        srq = StoreRegisterQueue(capacity=16)
+        for ssn in (1, 2, 3, 4):
+            srq.insert(_srq_entry(ssn, store_seq=ssn - 1))
+        srq.squash_above(2)
+        assert srq.lookup(2) is not None
+        assert srq.lookup(3) is None
+        assert srq.lookup(4) is None
+
+    def test_clear(self):
+        srq = StoreRegisterQueue(capacity=8)
+        srq.insert(_srq_entry(1))
+        srq.clear()
+        assert len(srq) == 0
+
+    def test_carries_partial_word_metadata(self):
+        """Section 3.5: store size and type live in the SRQ so the injected
+        shift & mask op can be built non-speculatively."""
+        srq = StoreRegisterQueue(capacity=8)
+        srq.insert(_srq_entry(1, size=4, fp=True))
+        entry = srq.lookup(1)
+        assert entry.size == 4
+        assert entry.fp_convert is True

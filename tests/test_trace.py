@@ -1,0 +1,173 @@
+"""Tests for the trace format and ground-truth annotation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import (
+    DynInst,
+    MEMORY_SOURCE,
+    annotate_trace,
+    communication_stats,
+)
+from tests.conftest import build_trace
+
+
+class TestAnnotation:
+    def test_load_from_untouched_memory(self):
+        trace = build_trace([("ld", 0x100, 8)])
+        load = trace[0]
+        assert load.src_stores == (MEMORY_SOURCE,) * 8
+        assert not load.communicates
+        assert load.containing_store == MEMORY_SOURCE
+        assert load.dist_insns == -1
+
+    def test_single_containing_store(self):
+        trace = build_trace([
+            ("alu", 8),
+            ("st", 0x100, 8, 8),
+            ("ld", 0x100, 8),
+        ])
+        load = trace[2]
+        assert load.containing_store == 0
+        assert load.communicates
+        assert not load.is_multi_source
+        assert load.dist_insns == 1
+
+    def test_partial_word_containment(self):
+        trace = build_trace([
+            ("st", 0x100, 8, 8),
+            ("ld", 0x104, 4),     # upper half of the store
+        ])
+        load = trace[1]
+        assert load.containing_store == 0
+        assert set(load.src_stores) == {0}
+
+    def test_multi_source_detection(self):
+        trace = build_trace([
+            ("st", 0x100, 1, 8),
+            ("st", 0x101, 1, 8),
+            ("ld", 0x100, 2),
+        ])
+        load = trace[2]
+        assert load.is_multi_source
+        assert load.containing_store == MEMORY_SOURCE
+        assert set(load.src_stores) == {0, 1}
+
+    def test_partial_coverage_mixes_memory(self):
+        trace = build_trace([
+            ("st", 0x100, 1, 8),
+            ("ld", 0x100, 2),     # byte 1 never written
+        ])
+        load = trace[1]
+        assert set(load.src_stores) == {0, MEMORY_SOURCE}
+        assert load.communicates
+        assert load.containing_store == MEMORY_SOURCE
+
+    def test_younger_store_shadows_older(self):
+        trace = build_trace([
+            ("st", 0x100, 8, 8),
+            ("st", 0x100, 8, 9),
+            ("ld", 0x100, 8),
+        ])
+        assert trace[2].containing_store == 1
+
+    def test_partial_overwrite_creates_multi_source(self):
+        trace = build_trace([
+            ("st", 0x100, 8, 8),
+            ("st", 0x100, 2, 9),   # overwrite low halfword
+            ("ld", 0x100, 8),
+        ])
+        load = trace[2]
+        assert load.is_multi_source
+        assert set(load.src_stores) == {0, 1}
+
+    def test_store_seq_dense(self):
+        trace = build_trace([
+            ("st", 0x100, 8, 8),
+            ("alu", 8),
+            ("st", 0x108, 8, 8),
+        ])
+        assert trace[0].store_seq == 0
+        assert trace[2].store_seq == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),                      # store or load
+                st.integers(min_value=0, max_value=40),  # slot
+                st.sampled_from([1, 2, 4, 8]),
+            ),
+            min_size=1, max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_against_naive_byte_reference(self, ops):
+        """annotate_trace must agree with a direct per-byte replay."""
+        specs = []
+        for is_store, slot, size in ops:
+            addr = 0x1000 + 8 * slot
+            if is_store:
+                specs.append(("st", addr, size, 8))
+            else:
+                specs.append(("ld", addr, size))
+        trace = build_trace(specs)
+
+        last_writer: dict[int, int] = {}
+        store_count = 0
+        for inst in trace:
+            if inst.is_store:
+                for byte in range(inst.addr, inst.addr + inst.size):
+                    last_writer[byte] = store_count
+                store_count += 1
+            elif inst.is_load:
+                expected = tuple(
+                    last_writer.get(b, MEMORY_SOURCE)
+                    for b in range(inst.addr, inst.addr + inst.size)
+                )
+                assert inst.src_stores == expected
+
+
+class TestCommunicationStats:
+    def test_window_cutoff(self):
+        specs = [("st", 0x100, 8, 8)]
+        specs += [("alu", 8)] * 200
+        specs += [("ld", 0x100, 8)]
+        stats = communication_stats(build_trace(specs), window=128)
+        assert stats.communicating_loads == 0
+        stats = communication_stats(build_trace(specs), window=256)
+        assert stats.communicating_loads == 1
+
+    def test_partial_word_counting(self):
+        trace = build_trace([
+            ("st", 0x100, 8, 8), ("ld", 0x100, 4),   # narrow load: partial
+            ("st", 0x200, 8, 8), ("ld", 0x200, 8),   # full word
+            ("st", 0x300, 2, 8), ("ld", 0x300, 2),   # narrow store: partial
+        ])
+        stats = communication_stats(trace)
+        assert stats.loads == 3
+        assert stats.communicating_loads == 3
+        assert stats.partial_word_loads == 2
+
+    def test_percentages(self):
+        trace = build_trace([
+            ("st", 0x100, 8, 8), ("ld", 0x100, 8), ("ld", 0x900, 8),
+        ])
+        stats = communication_stats(trace)
+        assert stats.pct_communicating == 50.0
+
+    def test_multi_source_counted(self):
+        trace = build_trace([
+            ("st", 0x100, 1, 8), ("st", 0x101, 1, 8), ("ld", 0x100, 2),
+        ])
+        stats = communication_stats(trace)
+        assert stats.multi_source_loads == 1
+        assert stats.partial_word_loads == 1
+
+
+class TestDynInstProperties:
+    def test_kind_properties(self):
+        trace = build_trace([("alu", 8), ("st", 0x0, 8, 8), ("ld", 0x0, 8), ("br", True)])
+        assert not trace[0].is_load and not trace[0].is_store
+        assert trace[1].is_store
+        assert trace[2].is_load
+        assert trace[3].is_branch
