@@ -1,0 +1,2 @@
+"""Benchmark-harness package (a regular package so basenames shared with
+``tests/`` import under unique module names)."""

@@ -22,6 +22,7 @@ Package map:
 * :mod:`repro.pipeline` -- machine configs and the cycle-level processor
 * :mod:`repro.workloads` -- benchmark profiles, generator, programs
 * :mod:`repro.harness` -- Table 5 / Figures 2-5 regeneration
+* :mod:`repro.experiments` -- sharded, cached, resumable campaign engine
 """
 
 from repro.pipeline import MachineConfig, Processor, RunStats, simulate

@@ -9,6 +9,13 @@
     python -m repro figure2 gzip applu             # Figure 2 bars
     python -m repro list                           # available benchmarks
     python -m repro program stack_spill            # run a mini-ISA program
+
+Campaigns (sharded + cached sweeps; see :mod:`repro.experiments`)::
+
+    python -m repro campaign run --scale smoke --jobs 4     # full sweep
+    python -m repro campaign run gzip mcf --seed 3 --jobs 2
+    python -m repro campaign status                         # cache coverage
+    python -m repro campaign report                         # render tables
 """
 
 from __future__ import annotations
@@ -17,14 +24,29 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.experiments import (
+    DEFAULT_CACHE_DIR,
+    CampaignSpec,
+    ResultCache,
+    ResultStore,
+    collect_results,
+    plan_campaign,
+    run_campaign,
+)
 from repro.harness import (
+    DEFAULT,
+    FULL,
+    SMOKE,
     ExperimentScale,
     render_figure2,
+    render_figure4,
     render_table5,
+    standard_configs,
 )
-from repro.harness.figure2 import figure2_series
+from repro.harness.figure2 import BARS, BASELINE, figure2_series
+from repro.harness.figure4 import figure4_series
 from repro.harness.report import render_table
-from repro.harness.table5 import table5_rows
+from repro.harness.table5 import table5_row, table5_rows
 from repro.pipeline import MachineConfig, simulate
 from repro.workloads import PROFILES, generate_trace, profile, programs
 
@@ -160,6 +182,201 @@ def cmd_program(args) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# Campaigns
+# --------------------------------------------------------------------- #
+
+_NAMED_SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+#: Named configuration sets a campaign can sweep.
+_CONFIG_SETS = {
+    "standard": lambda window: standard_configs(window),
+    "table5": lambda window: [
+        MachineConfig.nosq(window=window, delay=False),
+        MachineConfig.nosq(window=window, delay=True),
+    ],
+    "figure4": lambda window: [
+        MachineConfig.conventional(window=window),
+        MachineConfig.nosq(window=window, delay=True),
+    ],
+}
+
+
+def _campaign_scale(args) -> ExperimentScale:
+    if args.instructions is None:
+        if args.warmup is not None:
+            raise ValueError("-w/--warmup requires -n/--instructions")
+        return _NAMED_SCALES[args.scale]
+    warmup = (
+        args.warmup if args.warmup is not None else args.instructions // 2
+    )
+    return ExperimentScale("cli", args.instructions, warmup)
+
+
+def _campaign_spec(args) -> CampaignSpec:
+    return CampaignSpec(
+        benchmarks=args.benchmarks or list(PROFILES),
+        configs=_CONFIG_SETS[args.configs](args.window),
+        scale=_campaign_scale(args),
+        seeds=(args.seed,),
+        name=args.configs,
+    )
+
+
+def _add_campaign_spec_args(parser: argparse.ArgumentParser) -> None:
+    # No argparse choices: CampaignSpec validates names (with a clear
+    # message) and nargs="*" + choices rejects an empty selection.
+    parser.add_argument(
+        "benchmarks", nargs="*", metavar="benchmark",
+        help="benchmarks to sweep (default: all)",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(_NAMED_SCALES), default="smoke",
+        help="named experiment scale (default smoke)",
+    )
+    parser.add_argument(
+        "-n", "--instructions", type=int, default=None,
+        help="custom trace length (overrides --scale)",
+    )
+    parser.add_argument(
+        "-w", "--warmup", type=int, default=None,
+        help="custom warmup (with -n; default n/2)",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--window", type=int, choices=(128, 256), default=128,
+        help="machine window size (default 128)",
+    )
+    parser.add_argument(
+        "--configs", choices=sorted(_CONFIG_SETS), default="standard",
+        help="configuration set to sweep (default standard)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR),
+        help=f"content-addressed result cache (default {DEFAULT_CACHE_DIR})",
+    )
+
+
+def cmd_campaign_run(args) -> int:
+    try:
+        if args.jobs < 1:
+            raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
+        spec = _campaign_spec(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store = ResultStore(args.store)
+    progress = None if args.quiet else (lambda ev: print(ev.describe()))
+    result = run_campaign(
+        spec, jobs=args.jobs, cache=cache, store=store,
+        progress=progress, force=args.force,
+    )
+    print(
+        f"{spec.num_jobs} jobs: {result.hits} cached, "
+        f"{result.executed} executed in {result.elapsed_s:.1f}s "
+        f"({args.jobs} worker{'s' if args.jobs != 1 else ''}); "
+        f"results appended to {args.store}"
+    )
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    try:
+        spec = _campaign_spec(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    hits, groups = plan_campaign(spec, ResultCache(args.cache_dir))
+    cached = {}
+    for job, _key, _record in hits:
+        cached[job.benchmark] = cached.get(job.benchmark, 0) + 1
+    pending = {g.benchmark: len(g.configs) for g in groups}
+    rows = [
+        [name, cached.get(name, 0), pending.get(name, 0)]
+        for name in spec.benchmarks
+    ]
+    done = sum(cached.values())
+    print(render_table(
+        ["benchmark", "cached", "pending"], rows,
+        title=(
+            f"campaign {spec.name!r} @ {spec.scale.name}, seed {args.seed}: "
+            f"{done}/{spec.num_jobs} jobs cached under {args.cache_dir}"
+        ),
+    ))
+    return 0
+
+
+def cmd_campaign_report(args) -> int:
+    store = ResultStore(args.store)
+    records = store.load()
+    if not records:
+        print(f"no records in {args.store}", file=sys.stderr)
+        return 1
+    # A store may accumulate several scales; report the most recent one.
+    def scale_of(record):
+        return (
+            record["scale"]["num_instructions"], record["scale"]["warmup"]
+        )
+
+    scales = {scale_of(r) for r in records}
+    current = scale_of(records[-1])
+    records = [r for r in records if scale_of(r) == current]
+    if len(scales) > 1:
+        print(
+            f"note: reporting the newest scale "
+            f"({current[0]} instructions, {current[1]} warmup); "
+            f"store also holds {len(scales) - 1} other scale(s)"
+        )
+    seeds = sorted({r["seed"] for r in records})
+    seed = args.seed if args.seed is not None else seeds[0]
+    if seed not in seeds:
+        print(f"no records for seed {seed} (stored: {seeds})",
+              file=sys.stderr)
+        return 1
+    results = collect_results(records, seed=seed)
+    if args.benchmarks:
+        missing = [b for b in args.benchmarks if b not in results]
+        if missing:
+            print(f"no stored results for: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 1
+        results = {b: results[b] for b in args.benchmarks}
+
+    # Render each table/figure over the benchmarks whose stored configs
+    # support it (stores may mix config sets across campaigns).
+    def having(required: set[str]) -> list[str]:
+        return [n for n, r in results.items() if required <= set(r.runs)]
+
+    rendered = False
+    table5_names = having({"nosq-nodelay", "nosq-delay"})
+    if table5_names:
+        rows = [
+            table5_row(name, result=results[name]) for name in table5_names
+        ]
+        print(render_table5(rows))
+        rendered = True
+    figure2_names = having({BASELINE, *BARS})
+    if figure2_names:
+        print(render_figure2(figure2_series(figure2_names, results=results)))
+        rendered = True
+    figure4_names = having({"sq-storesets", "nosq-delay"})
+    if figure4_names:
+        print(render_figure4(figure4_series(figure4_names, results=results)))
+        rendered = True
+    if not rendered:
+        rows = [
+            [name, config, f"{results[name].runs[config].ipc:.3f}"]
+            for name in results
+            for config in sorted(results[name].runs)
+        ]
+        print(render_table(
+            ["benchmark", "config", "IPC"], rows,
+            title=f"stored campaign results (seed {seed})",
+        ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +411,62 @@ def build_parser() -> argparse.ArgumentParser:
     program = sub.add_parser("program", help="run a mini-ISA example program")
     program.add_argument("name")
     program.set_defaults(func=cmd_program)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sharded, cached experiment campaigns (repro.experiments)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run (or resume) a campaign sweep"
+    )
+    _add_campaign_spec_args(campaign_run)
+    campaign_run.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (default 1: run in-process)",
+    )
+    campaign_run.add_argument(
+        "--store", default="results/campaign.jsonl",
+        help="JSONL result store (default results/campaign.jsonl)",
+    )
+    campaign_run.add_argument(
+        "--force", action="store_true",
+        help="re-run jobs even when cached (entries are refreshed)",
+    )
+    campaign_run.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the result cache",
+    )
+    campaign_run.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-job progress lines",
+    )
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show cache coverage for a campaign spec"
+    )
+    _add_campaign_spec_args(campaign_status)
+    campaign_status.set_defaults(func=cmd_campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="render tables/figures from a JSONL result store"
+    )
+    campaign_report.add_argument(
+        "benchmarks", nargs="*", metavar="benchmark",
+        help="restrict the report to these benchmarks",
+    )
+    campaign_report.add_argument(
+        "--store", default="results/campaign.jsonl",
+        help="JSONL result store (default results/campaign.jsonl)",
+    )
+    campaign_report.add_argument(
+        "--seed", type=int, default=None,
+        help="seed to report (default: lowest stored)",
+    )
+    campaign_report.set_defaults(func=cmd_campaign_report)
 
     return parser
 

@@ -1,0 +1,66 @@
+"""Parallel experiment-campaign engine with content-addressed caching.
+
+The serial sweeps of :mod:`repro.harness.runner` express the paper's
+evaluation as nested loops in one process; this package turns the same
+cross products into declarative, sharded, cached, resumable *campaigns*:
+
+* :mod:`repro.experiments.spec` — :class:`CampaignSpec`/:class:`Job`:
+  declarative benchmarks x configs x seeds x scale expansion;
+* :mod:`repro.experiments.scheduler` — :func:`run_campaign`: a
+  ``ProcessPoolExecutor`` scheduler that shards job groups (one generated
+  trace per benchmark/seed, shared across its configs) over ``--jobs N``
+  workers with progress events;
+* :mod:`repro.experiments.cache` — :class:`ResultCache`: content-addressed
+  on-disk records (key = hash of config fields + benchmark + scale + seed
+  + package version), so unchanged jobs are instant hits and interrupted
+  campaigns resume;
+* :mod:`repro.experiments.store` — :class:`ResultStore` (JSONL) plus
+  :func:`collect_results`, the aggregation API feeding the existing
+  table/figure modules;
+* :mod:`repro.experiments.codec` — lossless JSON codecs for configs and
+  statistics.
+
+Quick start::
+
+    from repro.experiments import CampaignSpec, run_campaign
+
+    spec = CampaignSpec.standard(["gzip", "mcf"], scale=SMOKE)
+    result = run_campaign(spec, jobs=4, cache="results/cache",
+                          store="results/campaign.jsonl")
+    suite = result.suite_results()   # dict[benchmark -> BenchmarkResult]
+
+``repro campaign run|status|report`` exposes the same engine on the
+command line, and :func:`repro.harness.runner.run_suite` is built on it.
+"""
+
+from repro.experiments.cache import (
+    CACHE_SCHEMA,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    job_key,
+)
+from repro.experiments.scheduler import (
+    CampaignResult,
+    JobGroup,
+    ProgressEvent,
+    plan_campaign,
+    run_campaign,
+)
+from repro.experiments.spec import CampaignSpec, Job
+from repro.experiments.store import ResultStore, collect_results
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "CampaignResult",
+    "CampaignSpec",
+    "Job",
+    "JobGroup",
+    "ProgressEvent",
+    "ResultCache",
+    "ResultStore",
+    "collect_results",
+    "job_key",
+    "plan_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,111 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` names a cross product of benchmarks x machine
+configurations x seeds at one :class:`~repro.harness.runner.ExperimentScale`.
+:meth:`CampaignSpec.jobs` expands it into independent :class:`Job` units —
+one simulation each — which the scheduler shards across workers and the
+cache addresses by content hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.harness.runner import DEFAULT, ExperimentScale, standard_configs
+from repro.pipeline.config import MachineConfig
+from repro.workloads.profiles import PROFILES
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent simulation: a benchmark on a config at a seed."""
+
+    benchmark: str
+    config: MachineConfig
+    scale: ExperimentScale
+    seed: int
+
+    @property
+    def config_name(self) -> str:
+        return self.config.name
+
+    @property
+    def group_id(self) -> tuple[str, int]:
+        """Jobs with the same group share one generated trace."""
+        return (self.benchmark, self.seed)
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}/{self.config.name}"
+            f"@{self.scale.name}:seed={self.seed}"
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative sweep: benchmarks x configs x seeds at one scale."""
+
+    benchmarks: Sequence[str]
+    configs: Sequence[MachineConfig] = field(default_factory=standard_configs)
+    scale: ExperimentScale = DEFAULT
+    seeds: Sequence[int] = (17,)
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        self.benchmarks = list(self.benchmarks)
+        self.configs = list(self.configs)
+        self.seeds = list(self.seeds)
+        unknown = [b for b in self.benchmarks if b not in PROFILES]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
+        if len(set(self.benchmarks)) != len(self.benchmarks):
+            raise ValueError(f"duplicate benchmarks: {self.benchmarks}")
+        if not self.seeds:
+            raise ValueError("campaign needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds: {self.seeds}")
+        names = [c.name for c in self.configs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate config names: {names}")
+        if not 0 <= self.scale.warmup < self.scale.num_instructions:
+            raise ValueError(
+                f"warmup ({self.scale.warmup}) must be in "
+                f"[0, {self.scale.num_instructions}) — nothing would be "
+                "measured"
+            )
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.benchmarks) * len(self.configs) * len(self.seeds)
+
+    def jobs(self) -> Iterator[Job]:
+        """Expand the cross product in deterministic (spec) order."""
+        for seed in self.seeds:
+            for benchmark in self.benchmarks:
+                for config in self.configs:
+                    yield Job(
+                        benchmark=benchmark,
+                        config=config,
+                        scale=self.scale,
+                        seed=seed,
+                    )
+
+    @staticmethod
+    def standard(
+        benchmarks: Sequence[str] | None = None,
+        scale: ExperimentScale = DEFAULT,
+        seeds: Sequence[int] = (17,),
+        window: int = 128,
+        name: str = "standard",
+    ) -> "CampaignSpec":
+        """The five-configuration sweep behind Table 5 / Figures 2-4."""
+        return CampaignSpec(
+            benchmarks=(
+                list(benchmarks) if benchmarks is not None else list(PROFILES)
+            ),
+            configs=standard_configs(window),
+            scale=scale,
+            seeds=seeds,
+            name=name,
+        )

@@ -11,6 +11,11 @@
 Every experiment accepts an :class:`ExperimentScale`; the default
 ``SMOKE`` scale finishes in seconds per benchmark, while ``FULL`` matches
 what EXPERIMENTS.md records.
+
+All sweeps execute through the campaign engine (:mod:`repro.experiments`):
+pass ``jobs=N`` to shard a sweep over N worker processes and ``cache=`` (a
+directory path or :class:`~repro.experiments.ResultCache`) to memoize
+results on disk — identical numbers either way.
 """
 
 from repro.harness.runner import (

@@ -45,8 +45,11 @@ def _run(
     variants: Sequence[MachineConfig],
     scale: ExperimentScale,
     seed: int = 17,
+    jobs: int = 1,
+    cache=None,
 ) -> list[AblationPoint]:
-    results = run_suite(list(benchmarks), list(variants), scale=scale, seed=seed)
+    results = run_suite(list(benchmarks), list(variants), scale=scale,
+                        seed=seed, jobs=jobs, cache=cache)
     points = []
     for name in benchmarks:
         point = AblationPoint(name=name)

@@ -50,11 +50,14 @@ def figure2_series(
     seed: int = 17,
     window: int = 128,
     results: dict[str, BenchmarkResult] | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> list[Figure2Point]:
     """Compute the Figure 2 series (or Figure 3's, with ``window=256``)."""
     names = list(benchmarks) if benchmarks is not None else list(PROFILES)
     if results is None:
-        results = run_suite(names, standard_configs(window), scale=scale, seed=seed)
+        results = run_suite(names, standard_configs(window), scale=scale,
+                            seed=seed, jobs=jobs, cache=cache)
     suffix = "" if window == 128 else "-w256"
     points = []
     for name in names:

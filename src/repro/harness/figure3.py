@@ -21,10 +21,13 @@ def figure3_series(
     benchmarks: Sequence[str] | None = None,
     scale: ExperimentScale = DEFAULT,
     seed: int = 17,
+    jobs: int = 1,
+    cache=None,
 ) -> list[Figure2Point]:
     """Compute the Figure 3 series (the 256-entry-window machine)."""
     names = list(benchmarks) if benchmarks is not None else SELECTED_BENCHMARKS
-    return figure2_series(names, scale=scale, seed=seed, window=256)
+    return figure2_series(names, scale=scale, seed=seed, window=256,
+                          jobs=jobs, cache=cache)
 
 
 def render_figure3(points: Sequence[Figure2Point]) -> str:

@@ -49,10 +49,13 @@ def figure4_series(
     scale: ExperimentScale = DEFAULT,
     seed: int = 17,
     results: dict[str, BenchmarkResult] | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> list[Figure4Point]:
     names = list(benchmarks) if benchmarks is not None else SELECTED_BENCHMARKS
     if results is None:
-        results = run_suite(names, _configs(), scale=scale, seed=seed)
+        results = run_suite(names, _configs(), scale=scale, seed=seed,
+                            jobs=jobs, cache=cache)
     points = []
     for name in names:
         result = results[name]

@@ -61,12 +61,15 @@ def _sweep(
     variants: Sequence[MachineConfig],
     scale: ExperimentScale,
     seed: int,
+    jobs: int = 1,
+    cache=None,
 ) -> list[SweepPoint]:
     configs = [
         MachineConfig.conventional(perfect_scheduling=True),
         *variants,
     ]
-    results = run_suite(list(benchmarks), configs, scale=scale, seed=seed)
+    results = run_suite(list(benchmarks), configs, scale=scale, seed=seed,
+                        jobs=jobs, cache=cache)
     points = []
     for name in benchmarks:
         result = results[name]
@@ -84,6 +87,8 @@ def figure5_capacity_series(
     scale: ExperimentScale = DEFAULT,
     seed: int = 17,
     history_bits: int = 8,
+    jobs: int = 1,
+    cache=None,
 ) -> list[SweepPoint]:
     """Top graph: capacity sweep at the default history length."""
     names = list(benchmarks) if benchmarks is not None else SELECTED_BENCHMARKS
@@ -91,7 +96,7 @@ def figure5_capacity_series(
         _nosq_with_predictor(capacity, history_bits)
         for capacity in CAPACITY_SWEEP
     ]
-    return _sweep(names, variants, scale, seed)
+    return _sweep(names, variants, scale, seed, jobs=jobs, cache=cache)
 
 
 def figure5_history_series(
@@ -100,6 +105,8 @@ def figure5_history_series(
     seed: int = 17,
     total_entries: int | None = 2048,
     include_unbounded: bool = True,
+    jobs: int = 1,
+    cache=None,
 ) -> list[SweepPoint]:
     """Bottom graph: history sweep at fixed (or unbounded) capacity."""
     names = list(benchmarks) if benchmarks is not None else SELECTED_BENCHMARKS
@@ -110,7 +117,7 @@ def figure5_history_series(
         variants += [
             _nosq_with_predictor(None, bits) for bits in HISTORY_SWEEP
         ]
-    return _sweep(names, variants, scale, seed)
+    return _sweep(names, variants, scale, seed, jobs=jobs, cache=cache)
 
 
 def suite_geomeans(points: Sequence[SweepPoint]) -> list[SweepPoint]:

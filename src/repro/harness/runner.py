@@ -114,14 +114,32 @@ def run_suite(
     scale: ExperimentScale = DEFAULT,
     seed: int = 17,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> dict[str, BenchmarkResult]:
-    """Run a list of benchmarks through a list of configurations."""
-    results: dict[str, BenchmarkResult] = {}
-    for name in benchmarks:
-        if progress is not None:
-            progress(name)
-        results[name] = run_benchmark(name, configs, scale=scale, seed=seed)
-    return results
+    """Run a list of benchmarks through a list of configurations.
+
+    Built on the campaign engine (:mod:`repro.experiments`): each
+    benchmark's trace is generated once and shared across all of its
+    configurations, ``jobs`` shards the benchmarks over that many worker
+    processes, and ``cache`` (a :class:`~repro.experiments.ResultCache` or
+    directory path) makes repeated sweeps instant.  Results are
+    bit-identical for any ``jobs``/``cache`` combination.
+    """
+    # Imported lazily: repro.experiments builds on this module.
+    from repro.experiments import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        benchmarks=list(benchmarks), configs=list(configs),
+        scale=scale, seeds=(seed,), name="suite",
+    )
+    on_event = None
+    if progress is not None:
+        def on_event(event):
+            if event.kind == "start":
+                progress(event.benchmark)
+    campaign = run_campaign(spec, jobs=jobs, cache=cache, progress=on_event)
+    return campaign.suite_results(seed)
 
 
 def standard_configs(window: int = 128) -> list[MachineConfig]:

@@ -23,6 +23,7 @@ from repro.harness.runner import (
     ExperimentScale,
     amean,
     run_benchmark,
+    run_suite,
 )
 from repro.harness.report import render_table
 from repro.pipeline.config import MachineConfig
@@ -86,10 +87,17 @@ def table5_rows(
     benchmarks: Sequence[str] | None = None,
     scale: ExperimentScale = DEFAULT,
     seed: int = 17,
+    jobs: int = 1,
+    cache=None,
 ) -> list[Table5Row]:
     """Compute Table 5 for *benchmarks* (default: all 47)."""
     names = list(benchmarks) if benchmarks is not None else list(PROFILES)
-    return [table5_row(name, scale=scale, seed=seed) for name in names]
+    results = run_suite(names, _configs(), scale=scale, seed=seed,
+                        jobs=jobs, cache=cache)
+    return [
+        table5_row(name, scale=scale, seed=seed, result=results[name])
+        for name in names
+    ]
 
 
 def suite_averages(rows: Sequence[Table5Row]) -> list[Table5Row]:

@@ -1,0 +1,2 @@
+"""Unit-test package (a regular package so basenames shared with
+``benchmarks/`` import under unique module names)."""
