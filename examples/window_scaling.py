@@ -8,39 +8,54 @@ bypassing predictor that is deliberately *not* enlarged.  The paper finds
 realistic NoSQ's average improvement halves at 256 entries while idealized
 SMB improves.
 
-Run:  python examples/window_scaling.py
+The sweep runs through the campaign engine via ``run_suite(jobs=, cache=)``
+(see ROADMAP.md "Running campaigns"): each benchmark's trace is generated
+once and shared across its configurations, the benchmarks are sharded over
+worker processes, and results are memoized in a content-addressed cache so
+a re-run completes from cache in seconds.
+
+Run:  python examples/window_scaling.py [jobs]
 """
 
-from repro import MachineConfig, generate_trace, simulate
+import sys
+
+from repro import MachineConfig
+from repro.harness.runner import DEFAULT, run_suite
 
 BENCHMARKS = ["g721.e", "mesa.o", "gzip", "vortex", "applu"]
 
 
-def run_window(benchmark: str, trace, window: int) -> dict[str, float]:
-    warmup = len(trace) // 2
-    baseline = simulate(
+def window_configs(window: int) -> list[MachineConfig]:
+    return [
         MachineConfig.conventional(window=window, perfect_scheduling=True),
-        trace, warmup=warmup,
-    )
-    out = {}
-    for config in [
         MachineConfig.conventional(window=window),
         MachineConfig.nosq(window=window, delay=True),
         MachineConfig.nosq(window=window, perfect=True),
-    ]:
-        stats = simulate(config, trace, warmup=warmup)
-        key = config.name.replace("-w256", "")
-        out[key] = stats.cycles / baseline.cycles
-    return out
+    ]
 
 
 def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 2
     print(f"{'benchmark':10s} {'window':>7s} {'assoc SQ':>9s} "
           f"{'NoSQ delay':>11s} {'perfect SMB':>12s}")
-    for benchmark in BENCHMARKS:
-        trace = generate_trace(benchmark, num_instructions=30_000)
-        for window in (128, 256):
-            rel = run_window(benchmark, trace, window)
+    for window in (128, 256):
+        suffix = "-w256" if window == 256 else ""
+        results = run_suite(
+            BENCHMARKS,
+            window_configs(window),
+            scale=DEFAULT,
+            jobs=jobs,
+            cache="results/cache",
+        )
+        baseline_name = f"sq-perfect{suffix}"
+        for benchmark in BENCHMARKS:
+            result = results[benchmark]
+            rel = {
+                name.replace("-w256", ""): result.relative_time(
+                    name, baseline_name
+                )
+                for name in result.runs
+            }
             print(
                 f"{benchmark:10s} {window:7d} {rel['sq-storesets']:9.3f} "
                 f"{rel['nosq-delay']:11.3f} {rel['nosq-perfect']:12.3f}"

@@ -1,0 +1,45 @@
+"""Micro-benchmark harness for the simulator's hot paths (`repro bench`).
+
+The performance counterpart of the correctness suite: where the tests pin
+*what* the model computes, this package tracks *how fast* it computes it,
+so cycle-loop optimizations are measured rather than guessed and
+regressions fail CI instead of landing silently.
+
+* :mod:`repro.bench.harness` — :func:`run_bench`: times the end-to-end
+  simulator (benchmarks x standard configs at a named scale) plus isolated
+  hot paths (trace generation, dispatch/issue loop, SVW + T-SSBF
+  verification, store-sets lookup, memory hierarchy) and emits a
+  machine-readable report (wall time, simulated instructions/sec,
+  per-phase rates, peak RSS);
+* :mod:`repro.bench.compare` — :func:`compare_reports`: baseline vs
+  candidate with a relative regression threshold, for CI gating.
+
+Reports are conventionally stored as ``BENCH_<rev>.json`` (see
+``BENCH_baseline.json`` at the repository root for the committed
+baseline), and ``repro bench run | compare`` expose both halves on the
+command line::
+
+    PYTHONPATH=src python -m repro bench run --scale smoke
+    PYTHONPATH=src python -m repro bench compare BENCH_baseline.json \
+        BENCH_abc1234.json --threshold 0.20
+"""
+
+from repro.bench.compare import PhaseComparison, compare_reports, load_report
+from repro.bench.harness import (
+    BENCH_BENCHMARKS,
+    BENCH_SCHEMA,
+    PHASE_NAMES,
+    render_report,
+    run_bench,
+)
+
+__all__ = [
+    "BENCH_BENCHMARKS",
+    "BENCH_SCHEMA",
+    "PHASE_NAMES",
+    "PhaseComparison",
+    "compare_reports",
+    "load_report",
+    "render_report",
+    "run_bench",
+]

@@ -1,0 +1,118 @@
+"""Baseline-vs-candidate comparison with a regression threshold.
+
+:func:`compare_reports` lines up a candidate report against a baseline by
+metric name (``end_to_end`` plus every shared phase) and flags every metric
+whose rate dropped by more than ``threshold`` (relative).  CI runs::
+
+    repro bench compare BENCH_baseline.json BENCH_<rev>.json --threshold 0.20
+
+and fails when any regression survives.  Hardware differences between the
+baseline-recording machine and the CI runner are absorbed by the threshold;
+a systematic >20% drop on every metric still means the code got slower.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.harness.report import render_table
+
+#: Metric name used for the end-to-end simulator throughput.
+END_TO_END = "end_to_end"
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One metric's baseline/candidate rates and the verdict."""
+
+    metric: str
+    baseline_rate: float
+    candidate_rate: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (>1 means the candidate is faster)."""
+        if self.baseline_rate <= 0:
+            return float("inf")
+        return self.candidate_rate / self.baseline_rate
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio < 1.0 - self.threshold
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load and minimally validate a BENCH_*.json report."""
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"{path}: not a readable bench report: {exc}")
+    if not isinstance(report, dict) or "end_to_end" not in report:
+        raise ValueError(f"{path}: missing end_to_end section")
+    if "phases" not in report or not isinstance(report["phases"], list):
+        raise ValueError(f"{path}: missing phases list")
+    return report
+
+
+def _rates(report: dict[str, Any]) -> dict[str, float]:
+    rates = {END_TO_END: float(report["end_to_end"]["inst_per_sec"])}
+    for phase in report["phases"]:
+        rates[phase["name"]] = float(phase["rate"])
+    return rates
+
+
+def compare_reports(
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    threshold: float = 0.20,
+) -> list[PhaseComparison]:
+    """Compare shared metrics; ordered end_to_end first, then phases.
+
+    Metrics present on only one side are skipped (phases may be added or
+    retired across revisions without breaking old baselines).
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+    base_rates = _rates(baseline)
+    cand_rates = _rates(candidate)
+    comparisons = []
+    for metric in [END_TO_END] + [
+        p["name"] for p in candidate["phases"] if p["name"] in base_rates
+    ]:
+        if metric not in cand_rates or metric not in base_rates:
+            continue
+        comparisons.append(PhaseComparison(
+            metric=metric,
+            baseline_rate=base_rates[metric],
+            candidate_rate=cand_rates[metric],
+            threshold=threshold,
+        ))
+    return comparisons
+
+
+def render_comparison(
+    comparisons: list[PhaseComparison],
+    baseline_rev: str = "?",
+    candidate_rev: str = "?",
+) -> str:
+    """Human-readable comparison table."""
+    rows = []
+    for item in comparisons:
+        rows.append([
+            item.metric,
+            f"{item.baseline_rate:,.0f}",
+            f"{item.candidate_rate:,.0f}",
+            f"{item.ratio:.2f}x",
+            "REGRESSED" if item.regressed else "ok",
+        ])
+    return render_table(
+        ["metric", f"base ({baseline_rev})", f"cand ({candidate_rev})",
+         "ratio", "verdict"],
+        rows,
+        title="bench comparison (rates per second; ratio >1 is faster)",
+    )

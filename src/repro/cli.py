@@ -16,6 +16,11 @@ Campaigns (sharded + cached sweeps; see :mod:`repro.experiments`)::
     python -m repro campaign run gzip mcf --seed 3 --jobs 2
     python -m repro campaign status                         # cache coverage
     python -m repro campaign report                         # render tables
+
+Micro-benchmarks (perf tracking + CI gating; see :mod:`repro.bench`)::
+
+    python -m repro bench run --scale smoke                 # BENCH_<rev>.json
+    python -m repro bench compare BENCH_baseline.json BENCH_abc1234.json
 """
 
 from __future__ import annotations
@@ -179,6 +184,62 @@ def cmd_program(args) -> int:
             f"bypassed {stats.bypassed_loads}  delayed {stats.delayed_loads}  "
             f"flushes {stats.flushes}"
         )
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Micro-benchmarks
+# --------------------------------------------------------------------- #
+
+
+def cmd_bench_run(args) -> int:
+    from repro.bench import BENCH_BENCHMARKS, render_report, run_bench
+    from repro.bench.harness import write_report
+
+    benchmarks = args.benchmarks or list(BENCH_BENCHMARKS)
+    unknown = [b for b in benchmarks if b not in PROFILES]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else (lambda msg: print(f"[bench] {msg}"))
+    report = run_bench(
+        scale=args.scale, benchmarks=benchmarks, seed=args.seed,
+        repeat=args.repeat, progress=progress,
+    )
+    output = args.output or f"BENCH_{report['rev']}.json"
+    write_report(report, output)
+    print(render_report(report))
+    print(f"report written to {output}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from repro.bench import compare_reports, load_report
+    from repro.bench.compare import render_comparison
+
+    try:
+        baseline = load_report(args.baseline)
+        candidate = load_report(args.candidate)
+        comparisons = compare_reports(
+            baseline, candidate, threshold=args.threshold
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_comparison(
+        comparisons,
+        baseline_rev=baseline.get("rev", "?"),
+        candidate_rev=candidate.get("rev", "?"),
+    ))
+    regressions = [c for c in comparisons if c.regressed]
+    if regressions:
+        print(
+            f"{len(regressions)} metric(s) regressed by more than "
+            f"{100 * args.threshold:.0f}% vs the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no regressions beyond {100 * args.threshold:.0f}%")
     return 0
 
 
@@ -411,6 +472,50 @@ def build_parser() -> argparse.ArgumentParser:
     program = sub.add_parser("program", help="run a mini-ISA example program")
     program.add_argument("name")
     program.set_defaults(func=cmd_program)
+
+    bench = sub.add_parser(
+        "bench",
+        help="micro-benchmark the simulator's hot paths (repro.bench)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="time the simulator + hot paths, emit BENCH_<rev>.json"
+    )
+    bench_run.add_argument(
+        "benchmarks", nargs="*", metavar="benchmark",
+        help="benchmarks for the end-to-end phase (default: bench set)",
+    )
+    bench_run.add_argument(
+        "--scale", choices=("smoke", "default", "full"), default="smoke",
+        help="named experiment scale (default smoke)",
+    )
+    bench_run.add_argument("--seed", type=int, default=17)
+    bench_run.add_argument(
+        "--repeat", type=int, default=3,
+        help="timing rounds per phase; best round is reported (default 3)",
+    )
+    bench_run.add_argument(
+        "-o", "--output", default=None,
+        help="report path (default BENCH_<rev>.json)",
+    )
+    bench_run.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-phase progress lines",
+    )
+    bench_run.set_defaults(func=cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="compare two reports; nonzero exit on regression",
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("candidate", help="candidate BENCH_*.json")
+    bench_compare.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative rate-drop that counts as a regression (default 0.20)",
+    )
+    bench_compare.set_defaults(func=cmd_bench_compare)
 
     campaign = sub.add_parser(
         "campaign",

@@ -101,6 +101,14 @@ class BypassPrediction:
         return self.hit and self.dist != NO_BYPASS
 
 
+#: Shared prediction object for table misses (predict() returns one per
+#: load; the miss case carries no per-load state, so one instance serves).
+_MISS_PREDICTION = BypassPrediction(
+    hit=False, dist=NO_BYPASS, shift=0, store_size=8,
+    confident=True, path_sensitive=False,
+)
+
+
 @dataclass
 class BypassPredictorStats:
     lookups: int = 0
@@ -127,6 +135,9 @@ class _Table:
         self._sets: list[dict[int, _Entry]] = [dict() for _ in range(self.num_sets)]
         self._tag_mask = (1 << config.tag_bits) - 1
         self._index_bits = max(1, self.num_sets.bit_length() - 1)
+        self._hash_shift = 32 - self._index_bits
+        self._index_mask = self.num_sets - 1
+        self._unbounded = config.unbounded
 
     def _locate(self, key: int) -> tuple[dict[int, _Entry], int]:
         if self.config.unbounded:
@@ -141,9 +152,14 @@ class _Table:
         return self._sets[index], tag
 
     def lookup(self, key: int) -> _Entry | None:
-        entries, tag = self._locate(key)
+        # _locate inlined: two lookups per predicted load.
+        if self._unbounded:
+            return self._sets[0].get(key)
+        index = ((key * 0x9E3779B1) >> self._hash_shift) & self._index_mask
+        tag = key & self._tag_mask
+        entries = self._sets[index]
         entry = entries.get(tag)
-        if entry is not None and not self.config.unbounded:
+        if entry is not None:
             # Refresh LRU position.
             entries.pop(tag)
             entries[tag] = entry
@@ -195,15 +211,14 @@ class BypassingPredictor:
         Both tables are probed in parallel; a path-sensitive hit wins.
         """
         self.stats.lookups += 1
-        path_entry = self._path.lookup(self._path_key(pc, history))
-        plain_entry = self._plain.lookup(self._plain_key(pc))
+        # _path_key/_plain_key inlined (two probes per predicted load).
+        key = pc >> 2
+        path_entry = self._path.lookup(key ^ (history & self._hist_mask))
+        plain_entry = self._plain.lookup(key)
         entry = path_entry if path_entry is not None else plain_entry
         if entry is None:
             self.stats.misses += 1
-            return BypassPrediction(
-                hit=False, dist=NO_BYPASS, shift=0, store_size=8,
-                confident=True, path_sensitive=False,
-            )
+            return _MISS_PREDICTION
         if path_entry is not None:
             self.stats.path_sensitive_hits += 1
         else:
@@ -250,8 +265,9 @@ class BypassingPredictor:
         actual_shift &= (1 << cfg.shift_bits) - 1
         size_code = _SIZE_CODES.get(actual_store_size, 3)
 
-        plain_key = self._plain_key(pc)
-        path_key = self._path_key(pc, history)
+        # _plain_key/_path_key inlined (called per committed load).
+        plain_key = pc >> 2
+        path_key = plain_key ^ (history & self._hist_mask)
 
         if mispredicted:
             self.stats.trainings += 1

@@ -87,12 +87,20 @@ class CommitPipeline:
         Returns the cycle at which the store's value is visible to cache
         reads.
         """
-        self.stats.store_commits += 1
-        tlb_penalty = 0
+        stats = self.stats
+        stats.store_commits += 1
+        earliest = entry_cycle + self.config.dcache_offset
         if self.translate_stores:
             tlb_penalty = self.tlb.access(addr)
-            self.stats.tlb_stall_cycles += tlb_penalty
-        slot = self._book_port(entry_cycle + self.config.dcache_offset + tlb_penalty)
+            stats.tlb_stall_cycles += tlb_penalty
+            earliest += tlb_penalty
+        # _book_port inlined (runs once per committed store).
+        slot = self._port_free
+        if slot > earliest:
+            stats.port_conflict_cycles += slot - earliest
+        else:
+            slot = earliest
+        self._port_free = slot + 1
         self.hierarchy.write(addr)
         return slot + 1
 

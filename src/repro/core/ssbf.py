@@ -55,41 +55,53 @@ class TaggedSSBF:
         if self.num_sets & (self.num_sets - 1):
             raise ValueError("number of sets must be a power of two")
         self.assoc = assoc
+        self._index_mask = self.num_sets - 1
+        self._tag_shift = self.num_sets.bit_length() - 1
         self._sets: list[dict[int, SSBFEntry]] = [dict() for _ in range(self.num_sets)]
         #: per-set maximum SSN ever evicted (conservative watermark).
         self._evicted: list[int] = [0] * self.num_sets
+        #: Maximum SSN ever recorded (entry or watermark).  Because stores
+        #: update the filter in commit (SSN) order this equals the youngest
+        #: committed store's SSN; it upper-bounds every per-word answer, so
+        #: ``youngest_store_ssn(...) <= max_recorded_ssn`` always holds and
+        #: the SVW inequality test can short-circuit the common
+        #: no-younger-store case without walking the sets.
+        self.max_recorded_ssn = 0
         self.updates = 0
         self.lookups = 0
 
     def _locate(self, word: int) -> tuple[int, int]:
-        index = word & (self.num_sets - 1)
-        tag = word >> (self.num_sets.bit_length() - 1)
-        return index, tag
+        return word & self._index_mask, word >> self._tag_shift
 
     def update(self, addr: int, size: int, ssn: int) -> None:
         """Record a committing store (SVW stage of the back-end pipeline)."""
         self.updates += 1
-        for word in _words_touched(addr, size):
-            index, tag = self._locate(word)
+        if ssn > self.max_recorded_ssn:
+            self.max_recorded_ssn = ssn
+        first = addr >> _WORD_SHIFT
+        last = (addr + size - 1) >> _WORD_SHIFT
+        words = (first,) if first == last else range(first, last + 1)
+        for word in words:
+            # _locate inlined (runs per committed store).
+            index = word & self._index_mask
             entries = self._sets[index]
-            offset = max(0, addr - (word << _WORD_SHIFT))
-            end = min(addr + size, (word + 1) << _WORD_SHIFT)
+            tag = word >> self._tag_shift
+            word_base = word << _WORD_SHIFT
+            offset = max(0, addr - word_base)
+            end = min(addr + size, word_base + 8)
+            span = end - max(addr, word_base)
             entry = entries.get(tag)
             if entry is not None:
                 entry.ssn = ssn
                 entry.offset = offset
-                entry.size = end - max(addr, word << _WORD_SHIFT)
+                entry.size = span
                 continue
             if len(entries) >= self.assoc:
                 victim_tag = next(iter(entries))
                 victim = entries.pop(victim_tag)
                 if victim.ssn > self._evicted[index]:
                     self._evicted[index] = victim.ssn
-            entries[tag] = SSBFEntry(
-                ssn=ssn,
-                offset=offset,
-                size=end - max(addr, word << _WORD_SHIFT),
-            )
+            entries[tag] = SSBFEntry(ssn=ssn, offset=offset, size=span)
 
     def lookup(self, addr: int) -> SSBFEntry | None:
         """Look up the word containing *addr*; None on tag miss."""
@@ -106,8 +118,18 @@ class TaggedSSBF:
         """Conservative upper bound on the SSN of the youngest committed
         store overlapping [addr, addr+size): the max over touched words of
         the entry SSN or eviction watermark."""
+        first = addr >> _WORD_SHIFT
+        last = (addr + size - 1) >> _WORD_SHIFT
+        if first == last:
+            # Aligned (single-word) access: one set probe, no range object.
+            index = first & self._index_mask
+            entry = self._sets[index].get(first >> self._tag_shift)
+            youngest = self._evicted[index]
+            if entry is not None and entry.ssn > youngest:
+                return entry.ssn
+            return youngest
         youngest = 0
-        for word in _words_touched(addr, size):
+        for word in range(first, last + 1):
             index, tag = self._locate(word)
             entry = self._sets[index].get(tag)
             if entry is not None:
@@ -120,6 +142,7 @@ class TaggedSSBF:
         for entries in self._sets:
             entries.clear()
         self._evicted = [0] * self.num_sets
+        self.max_recorded_ssn = 0
 
 
 class UntaggedSSBF:
@@ -130,6 +153,8 @@ class UntaggedSSBF:
             raise ValueError("entry count must be a power of two")
         self.entries = entries
         self._ssns = [0] * entries
+        #: Same global watermark as :attr:`TaggedSSBF.max_recorded_ssn`.
+        self.max_recorded_ssn = 0
         self.updates = 0
         self.lookups = 0
 
@@ -138,6 +163,8 @@ class UntaggedSSBF:
 
     def update(self, addr: int, size: int, ssn: int) -> None:
         self.updates += 1
+        if ssn > self.max_recorded_ssn:
+            self.max_recorded_ssn = ssn
         for word in _words_touched(addr, size):
             index = self._index(word)
             if ssn > self._ssns[index]:
@@ -151,3 +178,4 @@ class UntaggedSSBF:
 
     def clear(self) -> None:
         self._ssns = [0] * self.entries
+        self.max_recorded_ssn = 0

@@ -67,6 +67,14 @@ class SVWFilter:
     def test_nonbypassing(self, addr: int, size: int, ssn_nvul: int) -> bool:
         """Inequality test; returns True if the load must re-execute."""
         self.stats.nonbypassing_tests += 1
+        # No-conflict short-circuit: the filter's global SSN watermark upper-
+        # bounds every per-word answer, so when no store younger than
+        # SSNnvul has committed at all (the common case -- the load executed
+        # with SSNcommit already caught up) the per-word walk cannot trigger
+        # a re-execution and is skipped entirely.  Bit-identical: the full
+        # test below would return False for exactly the same calls.
+        if self.ssbf.max_recorded_ssn <= ssn_nvul:
+            return False
         reexec = self.ssbf.youngest_store_ssn(addr, size) > ssn_nvul
         if reexec:
             self.stats.nonbypassing_reexecs += 1

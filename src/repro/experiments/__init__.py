@@ -31,6 +31,42 @@ Quick start::
 
 ``repro campaign run|status|report`` exposes the same engine on the
 command line, and :func:`repro.harness.runner.run_suite` is built on it.
+
+The cache-key contract
+----------------------
+
+A job's cache key (:func:`repro.experiments.cache.job_key`) is the
+SHA-256 of the canonical JSON of **everything that determines its
+result**, and nothing else:
+
+* every :class:`~repro.pipeline.config.MachineConfig` field, nested
+  dataclasses (backend, bypass predictor, hierarchy) included — the
+  config *name* participates only as an ordinary field, it is not
+  special-cased;
+* the benchmark profile name and the seed;
+* the scale's behavioural numbers ``num_instructions`` and ``warmup``
+  (the scale's *label* — smoke/default/full — is cosmetic and excluded,
+  so ``-n 8000 -w 3000`` and ``--scale smoke`` share entries);
+* the package version (``repro.__version__``) and the cache schema
+  version (:data:`~repro.experiments.cache.CACHE_SCHEMA`).
+
+Consequences:
+
+* changing any simulator behaviour **must** ship with a version or
+  schema bump, otherwise stale entries will be served; the hot-path
+  overhaul relies on bit-identity (``tests/test_perf_identity.py``)
+  precisely so cached results stay valid across it;
+* wiping ``results/cache/`` is never required for correctness — keys
+  change when inputs change — but is the way to (a) reclaim disk,
+  (b) force re-execution after an *intentional* behaviour change that
+  was not version-bumped (e.g. local experiments), or (c) clear entries
+  produced by abandoned working-tree states;
+* entries are atomic single-job JSON files under
+  ``results/cache/<key[:2]>/<key>.json``; deleting any subset is safe at
+  any time, including mid-campaign.
+
+See the README's "Running campaigns" section for the CLI view of this
+contract.
 """
 
 from repro.experiments.cache import (

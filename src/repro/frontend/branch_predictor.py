@@ -59,8 +59,9 @@ class HybridBranchPredictor:
 
     def predict_and_train(self, pc: int, taken: bool) -> bool:
         """Predict the branch at *pc*, train with *taken*; return the prediction."""
-        index_b = self._hash(pc) & self._mask
-        index_g = (self._hash(pc) ^ self._history) & self._mask
+        hashed = self._hash(pc)
+        index_b = hashed & self._mask
+        index_g = (hashed ^ self._history) & self._mask
         pred_g = self._gshare[index_g] >= 2
         pred_b = self._bimodal[index_b] >= 2
         use_gshare = self._chooser[index_b] >= 2
@@ -70,9 +71,22 @@ class HybridBranchPredictor:
         if prediction != taken:
             self.stats.mispredictions += 1
 
-        # Train the component tables and the chooser.
-        self._gshare[index_g] = _saturate(self._gshare[index_g], taken)
-        self._bimodal[index_b] = _saturate(self._bimodal[index_b], taken)
+        # Train the component tables and the chooser (_saturate inlined:
+        # this runs once per simulated branch).
+        gshare = self._gshare
+        count = gshare[index_g]
+        gshare[index_g] = (
+            count + 1 if taken and count < 3
+            else count - 1 if not taken and count > 0
+            else count
+        )
+        bimodal = self._bimodal
+        count = bimodal[index_b]
+        bimodal[index_b] = (
+            count + 1 if taken and count < 3
+            else count - 1 if not taken and count > 0
+            else count
+        )
         if pred_g != pred_b:
             self._chooser[index_b] = _saturate(self._chooser[index_b], pred_g == taken)
         self._history = ((self._history << 1) | int(taken)) & self._hist_mask

@@ -71,3 +71,17 @@ def compute_path_history(
         values[i] = history.value
         history.update(inst)
     return values
+
+
+def fill_path_history(
+    trace: Sequence[DynInst], bits: int = MAX_HISTORY_BITS
+) -> None:
+    """Store each instruction's pre-decode path history on ``inst.path_hist``.
+
+    Called by :func:`repro.isa.trace.annotate_trace`, so the walk happens
+    once per trace rather than once per simulated configuration.
+    """
+    history = PathHistory(bits)
+    for inst in trace:
+        inst.path_hist = history.value
+        history.update(inst)

@@ -61,18 +61,36 @@ class DynInst:
     src_stores: tuple[int, ...] = ()
     containing_store: int = MEMORY_SOURCE
     dist_insns: int = -1
+    #: Unique in-trace source store seqs (MEMORY_SOURCE excluded),
+    #: precomputed by annotate_trace.  The cycle loop consults this on
+    #: every dispatched load; deriving it from ``src_stores`` each time
+    #: dominated the dispatch profile.  Order is the historical
+    #: ``set(src_stores)`` iteration order so producer tuples (and thus
+    #: issue-port reservation order) are bit-identical to the pre-cached
+    #: implementation.
+    unique_stores: tuple[int, ...] = ()
+    #: Path history the front end would hold just before this instruction
+    #: decodes (Section 3.3's branch-direction + call-PC register), filled
+    #: by annotate_trace.  -1 means "not yet computed"; the timing model
+    #: fills it lazily for traces that skipped annotation.  Precomputing it
+    #: per trace (instead of per Processor.run) shares the walk across all
+    #: configurations simulating the same trace.
+    path_hist: int = -1
+    #: Operation-kind flags, precomputed at construction.  These are plain
+    #: fields rather than properties because the cycle loop reads them for
+    #: every instruction on every dispatch and commit.
+    is_load: bool = field(init=False, default=False)
+    is_store: bool = field(init=False, default=False)
+    is_branch: bool = field(init=False, default=False)
+    #: Issue-port index (``int(op)``), precomputed for the scheduler.
+    port: int = field(init=False, default=0)
 
-    @property
-    def is_load(self) -> bool:
-        return self.op is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is OpClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op is OpClass.BRANCH
+    def __post_init__(self) -> None:
+        op = self.op
+        self.is_load = op is OpClass.LOAD
+        self.is_store = op is OpClass.STORE
+        self.is_branch = op is OpClass.BRANCH
+        self.port = int(op)
 
     @property
     def communicates(self) -> bool:
@@ -101,11 +119,17 @@ def annotate_trace(trace: Sequence[DynInst]) -> list[DynInst]:
       bytes never written inside the trace),
     * ``containing_store`` -- the single store seq if exactly one store
       supplies every byte, else ``MEMORY_SOURCE``,
+    * ``unique_stores`` -- the unique in-trace source store seqs (the
+      timing model's per-dispatch working set),
     * ``dist_insns`` -- dynamic instruction distance to the youngest source
       store (used for the 128-instruction-window analysis of Table 5).
 
     Returns the same list for convenience.
     """
+    # Imported here: repro.frontend.path_history imports this module.
+    from repro.frontend.path_history import fill_path_history
+
+    fill_path_history(trace)
     last_writer: dict[int, tuple[int, int]] = {}  # byte addr -> (store_seq, inst_seq)
     store_count = 0
     for inst in trace:
@@ -130,6 +154,9 @@ def annotate_trace(trace: Sequence[DynInst]) -> list[DynInst]:
                 inst.containing_store = sources[0]
             else:
                 inst.containing_store = MEMORY_SOURCE
+            inst.unique_stores = tuple(
+                s for s in unique if s != MEMORY_SOURCE
+            )
             inst.dist_insns = (
                 inst.seq - youngest_inst_seq if youngest_inst_seq >= 0 else -1
             )

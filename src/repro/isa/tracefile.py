@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.isa.opcodes import OpClass
-from repro.isa.trace import DynInst
+from repro.isa.trace import MEMORY_SOURCE, DynInst
 
 #: Format version written into the header line.
 FORMAT_VERSION = 1
@@ -72,6 +72,11 @@ def load_trace(path: str | Path) -> list[DynInst]:
                 f"{path}: unsupported version {header.get('version')}"
             )
         trace = [_decode(line, path) for line in stream if line.strip()]
+    # Derived annotation (not serialized): recompute so reloaded traces
+    # match annotate_trace output exactly.
+    from repro.frontend.path_history import fill_path_history
+
+    fill_path_history(trace)
     expected = header.get("instructions")
     if expected is not None and expected != len(trace):
         raise TraceFormatError(
@@ -103,6 +108,11 @@ def _decode(line: str, path: Path) -> DynInst:
         inst.src_stores = tuple(record["src_stores"])
         inst.containing_store = record["containing_store"]
         inst.dist_insns = record["dist_insns"]
+        # Derived annotation (not serialized): recompute so reloaded traces
+        # match annotate_trace output exactly.
+        inst.unique_stores = tuple(
+            s for s in set(inst.src_stores) if s != MEMORY_SOURCE
+        )
         return inst
     except (KeyError, ValueError, TypeError) as exc:
         raise TraceFormatError(f"{path}: malformed record: {exc}") from exc

@@ -65,10 +65,11 @@ class Cache:
         self._sets: list[dict[int, bool]] = [dict() for _ in range(self.num_sets)]
         self._set_mask = self.num_sets - 1
         self._line_shift = line_bytes.bit_length() - 1
+        self._tag_shift = self.num_sets.bit_length() - 1
 
     def _index_tag(self, addr: int) -> tuple[int, int]:
         line = addr >> self._line_shift
-        return line & self._set_mask, line >> (self.num_sets.bit_length() - 1)
+        return line & self._set_mask, line >> self._tag_shift
 
     def lookup(self, addr: int) -> bool:
         """Non-destructive presence check (no LRU update, no stats)."""
@@ -81,8 +82,10 @@ class Cache:
         Returns True on hit.  The caller translates hit/miss into latency via
         the hierarchy model.
         """
-        index, tag = self._index_tag(addr)
-        cache_set = self._sets[index]
+        # _index_tag inlined: this runs for every cache access in the model.
+        line = addr >> self._line_shift
+        cache_set = self._sets[line & self._set_mask]
+        tag = line >> self._tag_shift
         hit = tag in cache_set
         if hit:
             dirty = cache_set.pop(tag) or is_write

@@ -58,11 +58,52 @@ class MemoryHierarchy:
 
     def read(self, addr: int) -> int:
         """A demand load access; returns its latency."""
-        return self._access(addr, is_write=False)
+        # Cache.access's L1 read paths are inlined here (one probe per
+        # out-of-order load issue); behaviour matches Cache.access exactly.
+        cfg = self.config
+        l1 = self.l1
+        line = addr >> l1._line_shift
+        cache_set = l1._sets[line & l1._set_mask]
+        tag = line >> l1._tag_shift
+        if tag in cache_set:
+            cache_set[tag] = cache_set.pop(tag)
+            l1.stats.read_hits += 1
+            return cfg.l1_latency
+        l1.stats.read_misses += 1
+        if len(cache_set) >= l1.assoc:
+            victim_tag = next(iter(cache_set))
+            if cache_set.pop(victim_tag):
+                l1.stats.writebacks += 1
+        cache_set[tag] = False
+        latency = cfg.l1_latency + cfg.l2_latency
+        if self.l2.access(addr, False):
+            return latency
+        return latency + cfg.memory_latency + self._line_fill_cycles
 
     def write(self, addr: int) -> int:
         """A committed store writing the data cache; returns its latency."""
-        return self._access(addr, is_write=True)
+        # Cache.access's L1 write paths are inlined here (one call per
+        # committed store); behaviour matches Cache.access exactly.
+        cfg = self.config
+        l1 = self.l1
+        line = addr >> l1._line_shift
+        cache_set = l1._sets[line & l1._set_mask]
+        tag = line >> l1._tag_shift
+        if tag in cache_set:
+            cache_set.pop(tag)
+            cache_set[tag] = True
+            l1.stats.write_hits += 1
+            return cfg.l1_latency
+        l1.stats.write_misses += 1
+        if len(cache_set) >= l1.assoc:
+            victim_tag = next(iter(cache_set))
+            if cache_set.pop(victim_tag):
+                l1.stats.writebacks += 1
+        cache_set[tag] = True
+        latency = cfg.l1_latency + cfg.l2_latency
+        if self.l2.access(addr, True):
+            return latency
+        return latency + cfg.memory_latency + self._line_fill_cycles
 
     def probe(self, addr: int) -> bool:
         """Non-destructive L1 presence check."""

@@ -29,22 +29,33 @@ class IssueQueueTracker:
 
     def occupancy(self, cycle: int) -> int:
         """Entries still waiting at the start of *cycle*."""
-        while self._scheduled and self._scheduled[0] <= cycle:
-            heapq.heappop(self._scheduled)
-        return len(self._scheduled) + self._unscheduled
+        scheduled = self._scheduled
+        while scheduled and scheduled[0] <= cycle:
+            heapq.heappop(scheduled)
+        return len(scheduled) + self._unscheduled
 
     def has_space(self, cycle: int) -> bool:
-        return self.occupancy(cycle) < self.capacity
+        # occupancy() inlined: this runs once per dispatched instruction.
+        scheduled = self._scheduled
+        while scheduled and scheduled[0] <= cycle:
+            heapq.heappop(scheduled)
+        return len(scheduled) + self._unscheduled < self.capacity
 
     def add_scheduled(self, issue_cycle: int) -> None:
         """Dispatch an entry whose issue cycle is already decided."""
-        heapq.heappush(self._scheduled, issue_cycle)
-        self._track_peak()
+        scheduled = self._scheduled
+        heapq.heappush(scheduled, issue_cycle)
+        current = len(scheduled) + self._unscheduled
+        if current > self.peak_occupancy:
+            self.peak_occupancy = current
 
     def add_unscheduled(self) -> None:
         """Dispatch an entry waiting on an external event (delayed load)."""
         self._unscheduled += 1
-        self._track_peak()
+        # Peak tracking inlined (this runs once per issue-queue dispatch).
+        current = len(self._scheduled) + self._unscheduled
+        if current > self.peak_occupancy:
+            self.peak_occupancy = current
 
     def schedule_unscheduled(self, issue_cycle: int) -> None:
         """Give a previously unscheduled entry its issue cycle."""

@@ -66,15 +66,26 @@ class RegisterMapper:
     def retire_older_than(self, seq: int) -> None:
         """Drop mappings for writers at or before *seq* that are shadowed.
 
-        The bottom of each stack only needs the youngest committed writer;
-        we prune stale entries to bound memory on long traces.
+        The bottom of each stack only needs the youngest committed writer
+        (flush rollback may expose it); we prune stale entries to bound
+        memory on long traces.  One scan + one bulk delete per stack: the
+        cycle loop batches calls (one per ~64 commits), so stacks carry a
+        long committed prefix and repeated ``del stack[0]`` would be
+        quadratic.
         """
         for stack in self._stacks:
-            while len(stack) > 1 and stack[1][0] <= seq:
-                del stack[0]
-            if stack and len(stack) == 1 and stack[0][0] <= seq:
-                # The sole writer has committed; its value is architectural.
-                del stack[0]
+            if not stack or stack[0][0] > seq:
+                continue
+            length = len(stack)
+            keep = 1
+            while keep < length and stack[keep][0] <= seq:
+                keep += 1
+            if keep == length:
+                # Every writer committed; the value is architectural.
+                stack.clear()
+            elif keep > 1:
+                # Shadowed committed prefix; keep the youngest committed.
+                del stack[:keep - 1]
 
     def squash_younger(self, seq: int) -> None:
         """Remove mappings created by instructions younger than *seq*."""

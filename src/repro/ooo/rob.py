@@ -9,74 +9,97 @@ buffer").  In this model those fields live on :class:`InFlightInst`.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.isa.trace import DynInst
 
 
-@dataclass(slots=True)
 class InFlightInst:
-    """Per-instruction timing and speculation state while in the window."""
+    """Per-instruction timing and speculation state while in the window.
 
-    inst: DynInst
-    dispatch_cycle: int
-    #: Store sequence number assigned at rename (stores only).
-    ssn: int = -1
-    #: Cycle operands become ready / load is allowed to issue.
-    ready_cycle: int = 0
-    #: Cycle the instruction is selected for execution (-1 = not scheduled).
-    issue_cycle: int = -1
-    #: Cycle the result is available to consumers (-1 = not scheduled).
-    complete_cycle: int = -1
-    #: Cycle the out-of-order D$ read happens (loads that access the cache).
-    dcache_read_cycle: int = -1
-    #: True once the instruction occupies no issue-queue entry.
-    skips_issue_queue: bool = False
-    #: Bypassing state (NoSQ loads).
-    bypassed: bool = False
-    delayed: bool = False
-    predicted_ssn: int = -1
-    predicted_shift: int = -1
-    path_sensitive_hit: bool = False
-    #: The bypassing predictor produced a prediction for this load.
-    pred_hit: bool = False
-    #: SSN of the youngest store this load is not vulnerable to (Section 2.2).
-    ssn_nvul: int = -1
-    #: Whether the load's obtained value matches architectural state
-    #: (ground truth; resolved at commit).
-    value_ok: bool = True
-    #: Forwarded from the store queue in the conventional baseline.
-    sq_forwarded: bool = False
-    #: Allocated a physical register at rename.
-    allocated_preg: bool = False
-    #: Shares the physical register allocated by this seq (SMB; -1 = none).
-    shared_with_seq: int = -1
-    #: Dense store_seq of the predicted bypassing/delaying store (-1 = none).
-    predicted_store_seq: int = -1
-    #: SSNrename observed just before this instruction renamed.
-    ssn_rename_at_dispatch: int = 0
-    #: A partial-word bypass realized as an injected shift & mask operation.
-    injected_op: bool = False
-    #: Opportunistic SMB short-circuit applied (conventional machine only).
-    smb_applied: bool = False
-    #: Squashed by a verification flush (stale references must ignore it).
-    squashed: bool = False
-    #: Scheduling info used by the timing model: the in-flight producers
-    #: whose completion gates readiness, how the instruction executes
-    #: ("exec" = issue to a port, "load" = issue + D$ read, "bypass" = no
-    #: execution, completes with its producer, "none" = completes at
-    #: dispatch), and an extra readiness floor (e.g. a store-visibility
-    #: cycle for woken delayed loads).
-    producers: tuple = ()
-    sched_kind: str = "none"
-    port_class: int = 0
-    min_ready: int = 0
-    in_iq: bool = False
+    A plain ``__slots__`` class with a hand-written constructor rather
+    than a dataclass: one instance is created per dispatched instruction
+    (including flush replays), making construction itself a measured hot
+    path.  Field meanings:
 
-    @property
-    def seq(self) -> int:
-        return self.inst.seq
+    * ``ssn`` -- store sequence number assigned at rename (stores only);
+    * ``issue_cycle`` / ``complete_cycle`` -- selection / result cycles
+      (-1 = not scheduled yet);
+    * ``dcache_read_cycle`` -- cycle of the out-of-order D$ read (loads);
+    * ``skips_issue_queue`` -- occupies no issue-queue entry;
+    * ``bypassed`` / ``delayed`` / ``predicted_ssn`` / ``predicted_shift``
+      / ``path_sensitive_hit`` / ``pred_hit`` -- NoSQ bypassing state;
+    * ``ssn_nvul`` -- youngest store the load is not vulnerable to
+      (Section 2.2);
+    * ``sq_forwarded`` -- forwarded from the store queue (baseline);
+    * ``allocated_preg`` -- allocated a physical register at rename;
+    * ``shared_with_seq`` -- shares the register allocated by that seq
+      (SMB; -1 = none);
+    * ``predicted_store_seq`` -- dense store_seq of the predicted
+      bypassing/delaying store (-1 = none);
+    * ``ssn_rename_at_dispatch`` -- SSNrename observed just before this
+      instruction renamed (set for loads and stores);
+    * ``injected_op`` -- partial-word bypass realized as an injected
+      shift & mask operation;
+    * ``smb_applied`` -- opportunistic SMB short-circuit applied;
+    * ``squashed`` -- squashed by a verification flush;
+    * ``producers`` / ``sched_kind`` / ``port_class`` / ``min_ready`` /
+      ``in_iq`` -- greedy-scheduling info: gating in-flight producers,
+      how the instruction executes ("exec" = issue to a port, "load" =
+      issue + D$ read, "bypass" = completes with its producer, "none" =
+      completes at dispatch), an extra readiness floor, and issue-queue
+      occupancy;
+    * ``seq`` -- dynamic sequence number mirrored from ``inst.seq`` (a
+      plain field, read on every wakeup, squash, and release).
+    """
+
+    __slots__ = (
+        "inst", "dispatch_cycle", "ssn", "issue_cycle",
+        "complete_cycle", "dcache_read_cycle", "skips_issue_queue",
+        "bypassed", "delayed", "predicted_ssn", "predicted_shift",
+        "path_sensitive_hit", "pred_hit", "ssn_nvul",
+        "sq_forwarded", "allocated_preg", "shared_with_seq",
+        "predicted_store_seq", "ssn_rename_at_dispatch", "injected_op",
+        "smb_applied", "squashed", "producers", "sched_kind",
+        "port_class", "min_ready", "in_iq", "seq",
+    )
+
+    def __init__(self, inst: DynInst, dispatch_cycle: int) -> None:
+        self.inst = inst
+        self.dispatch_cycle = dispatch_cycle
+        self.seq = inst.seq
+        self.ssn = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.skips_issue_queue = False
+        self.allocated_preg = False
+        self.shared_with_seq = -1
+        self.ssn_rename_at_dispatch = 0
+        self.squashed = False
+        self.producers = ()
+        self.sched_kind = "none"
+        self.port_class = 0
+        self.min_ready = 0
+        self.in_iq = False
+        if inst.is_load:
+            self.init_load_fields()
+
+    def init_load_fields(self) -> None:
+        """Bypassing/verification state only loads carry (and only loads
+        read); split out of __init__ so the ~75% of instructions that are
+        not loads skip twelve slot initializations."""
+        self.dcache_read_cycle = -1
+        self.bypassed = False
+        self.delayed = False
+        self.predicted_ssn = -1
+        self.predicted_shift = -1
+        self.path_sensitive_hit = False
+        self.pred_hit = False
+        self.ssn_nvul = -1
+        self.sq_forwarded = False
+        self.predicted_store_seq = -1
+        self.injected_op = False
+        self.smb_applied = False
 
 
 class ReorderBuffer:

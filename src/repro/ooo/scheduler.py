@@ -38,38 +38,53 @@ class PortSchedule:
     ) -> None:
         self.ports = dict(ports or ISSUE_PORTS)
         self.total_width = total_width
-        self._class_used: dict[int, list[int]] = {}
-        self._total_used: dict[int, int] = {}
+        #: Per-class slot limits indexed by int(op_class) (hot path: avoids
+        #: enum hashing on every reservation).
+        self._limits = [0] * len(OpClass)
+        for op, limit in self.ports.items():
+            self._limits[op] = limit
+        #: cycle -> [per-class slot counts..., total] (one dict lookup per
+        #: probe; the trailing element is the cycle's total booked width).
+        self._used_by_cycle: dict[int, list[int]] = {}
 
-    def reserve(self, op_class: OpClass, earliest: int) -> int:
+    def reserve(self, op_class: OpClass | int, earliest: int) -> int:
         """Book a slot of *op_class* at the first feasible cycle."""
-        limit = self.ports[op_class]
+        op = int(op_class)
+        limit = self._limits[op]
+        width = self.total_width
+        used_map = self._used_by_cycle
         cycle = earliest
         while True:
-            used = self._class_used.get(cycle)
-            total = self._total_used.get(cycle, 0)
-            class_used = used[op_class] if used else 0
-            if class_used < limit and total < self.total_width:
-                if used is None:
-                    used = [0] * len(OpClass)
-                    self._class_used[cycle] = used
-                used[op_class] += 1
-                self._total_used[cycle] = total + 1
+            used = used_map.get(cycle)
+            if used is None:
+                used = [0] * (len(self._limits) + 1)
+                used[op] = 1
+                used[-1] = 1
+                used_map[cycle] = used
+                return cycle
+            if used[-1] < width and used[op] < limit:
+                used[op] += 1
+                used[-1] += 1
                 return cycle
             cycle += 1
 
+    @property
+    def tracked_cycles(self) -> int:
+        """Number of cycles with live bookkeeping (GC trigger for callers)."""
+        return len(self._used_by_cycle)
+
     def discard_before(self, cycle: int) -> None:
         """Free bookkeeping for cycles before *cycle* (already in the past)."""
-        if len(self._total_used) < 4096:
+        used_map = self._used_by_cycle
+        if len(used_map) < 4096:
             return
-        stale = [c for c in self._total_used if c < cycle]
+        stale = [c for c in used_map if c < cycle]
         for c in stale:
-            self._total_used.pop(c, None)
-            self._class_used.pop(c, None)
+            del used_map[c]
 
     def used(self, cycle: int, op_class: OpClass | None = None) -> int:
         """Introspection for tests: slots booked at *cycle*."""
-        if op_class is None:
-            return self._total_used.get(cycle, 0)
-        used = self._class_used.get(cycle)
-        return used[op_class] if used else 0
+        used = self._used_by_cycle.get(cycle)
+        if used is None:
+            return 0
+        return used[-1] if op_class is None else used[op_class]

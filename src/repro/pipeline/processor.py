@@ -30,7 +30,10 @@ Modelling approach (see DESIGN.md for the full rationale):
 
 from __future__ import annotations
 
+import gc
 from bisect import bisect_right
+from collections import deque
+from heapq import heappop, heappush
 
 from repro.core.bypass_predictor import NO_BYPASS, BypassingPredictor
 from repro.core.commit_pipeline import CommitPipeline
@@ -40,7 +43,8 @@ from repro.core.ssbf import TaggedSSBF
 from repro.core.ssn import SSNCounters
 from repro.core.svw import BypassVerdict, SVWFilter
 from repro.frontend.branch_predictor import BTB, HybridBranchPredictor, ReturnAddressStack
-from repro.frontend.path_history import compute_path_history
+from repro.frontend.path_history import fill_path_history
+from repro.isa.instructions import REG_ZERO
 from repro.isa.opcodes import OpClass
 from repro.isa.trace import DynInst, MEMORY_SOURCE
 from repro.memory.hierarchy import MemoryHierarchy
@@ -58,6 +62,18 @@ from repro.predictors.store_sets import StoreSets
 
 class SimulationError(RuntimeError):
     """Raised when the cycle loop detects an inconsistency or livelock."""
+
+
+#: Commits between batched register-alias-table pruning passes.  Pruning a
+#: committed writer is timing-neutral (its completion cycle is below every
+#: later consumer's readiness floor), so the per-register walk only needs to
+#: run often enough to bound mapper memory.
+_RETIRE_BATCH = 64
+
+#: Load/store issue-port indices (hot path: avoids per-dispatch enum
+#: lookups).
+_LOAD_PORT = int(OpClass.LOAD)
+_STORE_PORT = int(OpClass.STORE)
 
 
 class Processor:
@@ -115,7 +131,6 @@ class Processor:
 
         # Per-run state (initialized in run()).
         self._trace: list[DynInst] = []
-        self._path_hist: list[int] = []
         self._store_insts: list[DynInst] = []
         self._pos = 0
         self._dispatch_barrier = 0
@@ -128,7 +143,7 @@ class Processor:
         #: (visible_cycle, ssn, store_seq).  SSNcommit advances only when the
         #: write completes -- the paper's commit stage is the *last* back-end
         #: stage, after the data-cache write.
-        self._pending_commits: list[tuple[int, int, int]] = []
+        self._pending_commits: deque[tuple[int, int, int]] = deque()
         self._store_entry_cycles: list[int] = []  # commit-entry per store_seq
         self._sched_waiters: dict[int, list[InFlightInst]] = {}  # producer seq
         self._commit_waiters: dict[int, list[InFlightInst]] = {}  # store_seq
@@ -136,6 +151,31 @@ class Processor:
         self._warmup = 0
         self._committed_total = 0
         self._measure_start_cycle = 0
+        #: Commits since the last batched RAT pruning pass (see the
+        #: inlined release block in :meth:`_commit_stage`).
+        self._retire_backlog = 0
+        #: Stall bookkeeping for _fast_forward: whether the current cycle's
+        #: dispatch counted a stall, and which condition it broke on.
+        self._stall_counted = False
+        self._stall_on_iq = False
+        self._stall_on_sq = False
+        # Hot-loop scalars hoisted out of the (frozen) config object.
+        #: Commit-time training mode: "smb" (opportunistic SMB), "conv"
+        #: (no bypassing predictor), or "nosq" (train the predictor on
+        #: every load) -- mirrors _train_on_commit's branch structure.
+        if config.smb_opportunistic:
+            self._train_kind = "smb"
+        elif self.bypass_predictor is None:
+            self._train_kind = "conv"
+        else:
+            self._train_kind = "nosq"
+        self._is_conventional = config.mode is Mode.CONVENTIONAL
+        self._exec_delay = config.exec_delay
+        self._frontend_depth = config.frontend_depth
+        self._l1_latency = config.hierarchy.l1_latency
+        # Loop-invariant stage contexts, populated by run().
+        self._dispatch_ctx: tuple = ()
+        self._commit_ctx: tuple = ()
 
     # ------------------------------------------------------------------ #
     # Top level
@@ -158,7 +198,10 @@ class Processor:
         self._committed_total = 0
         self._measure_start_cycle = 0
         self._trace = trace
-        self._path_hist = compute_path_history(trace)
+        if trace and trace[0].path_hist < 0:
+            # Un-annotated trace (annotate_trace precomputes this once per
+            # trace; mutation is idempotent and shared by later runs).
+            fill_path_history(trace)
         self._store_insts = [i for i in trace if i.is_store]
         self._pos = 0
         self._dispatch_barrier = 0
@@ -167,47 +210,138 @@ class Processor:
         self._drain_pending = False
         self._inflight_stores = {}
         self._store_exec_cycles = {}
-        self._pending_commits = []
+        self._pending_commits = deque()
         self._store_entry_cycles = []
         self._sched_waiters = {}
         self._commit_waiters = {}
+        self._retire_backlog = 0
         n = len(trace)
         if n == 0:
             return self.stats
         max_cycles = n * self.config.max_cycles_per_inst + 100_000
 
-        cycle = 0
-        while self._pos < n or not self.rob.empty or self._pending_commits:
-            self._advance_ssn_commit(cycle)
-            progressed = self._commit_stage(cycle)
-            progressed |= self._dispatch_stage(cycle)
-            if not progressed:
-                cycle = self._next_event_cycle(cycle)
-            else:
-                cycle += 1
-            self.ports.discard_before(cycle - 8)
-            if cycle > max_cycles:
-                raise SimulationError(
-                    f"livelock: {cycle} cycles for {n} instructions "
-                    f"(pos={self._pos}, rob={len(self.rob)})"
-                )
+        # Loop-invariant context tuples for the two stages: one attribute
+        # read + tuple unpack per stage call instead of a dozen attribute
+        # lookups (both stages run up to once per simulated cycle).
+        config = self.config
+        self._dispatch_ctx = (
+            trace, self.rob._entries, self.rob.capacity, self.pregs,
+            self.iq, self.lq, self.lq.unlimited, self.sq, self.ssn,
+            config.width, config.max_branches_per_group,
+            config.max_taken_per_group, self.mapper._stacks,
+            self._sched_waiters, self._exec_delay,
+            self.ports._used_by_cycle, self.ports._limits,
+            self.ports.total_width, self.lq.capacity, self.iq._scheduled,
+            n,
+        )
+        self._commit_ctx = (
+            self.rob._entries, config.commit_width, self.lq,
+            self.lq.unlimited, self.pregs, self._sched_waiters,
+        )
+
+        # The main loop binds its per-cycle work to locals: attribute and
+        # method lookups here run once per simulated cycle and showed up
+        # prominently in profiles.  The cheap prechecks mirror each stage's
+        # own early-exit conditions exactly, so skipping the call is
+        # behaviour- and statistics-identical.
+        rob_entries = self.rob._entries
+        pending = self._pending_commits
+        advance_ssn = self._advance_ssn_commit
+        commit_stage = self._commit_stage
+        dispatch_stage = self._dispatch_stage
+        ports_discard = self.ports.discard_before
+        port_cycles = self.ports._used_by_cycle
+        # The cycle loop allocates heavily (one InFlightInst + producer
+        # tuples per dispatch) but creates almost no reference cycles, so
+        # generational GC scans are nearly pure overhead (~6% of the loop).
+        # Suspend collection for the duration and restore the caller's
+        # setting afterwards; the rare true cycles (_BarrierRaiser back
+        # references) are collected after re-enabling.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            cycle = 0
+            while self._pos < n or rob_entries or pending:
+                if pending and pending[0][0] <= cycle:
+                    advance_ssn(cycle)
+                head = rob_entries[0] if rob_entries else None
+                if head is not None and 0 <= head.complete_cycle <= cycle:
+                    progressed = commit_stage(cycle)
+                else:
+                    progressed = False
+                if self._pos < n and cycle >= self._dispatch_barrier:
+                    if dispatch_stage(cycle):
+                        progressed = True
+                elif not progressed:
+                    self._stall_counted = False
+                if progressed:
+                    cycle += 1
+                else:
+                    cycle = self._fast_forward(cycle)
+                if len(port_cycles) >= 4096:
+                    ports_discard(cycle - 8)
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"livelock: {cycle} cycles for {n} instructions "
+                        f"(pos={self._pos}, rob={len(self.rob)})"
+                    )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         self.stats.cycles = cycle - self._measure_start_cycle
         self.stats.instructions = n - self._warmup
         return self.stats
 
-    def _next_event_cycle(self, cycle: int) -> int:
-        """Skip idle cycles to the next cycle something can happen."""
-        candidates = [cycle + 1]
-        head = self.rob.head
-        if head is not None and head.complete_cycle > cycle:
-            candidates.append(head.complete_cycle)
-        if self._pending_commits:
-            candidates.append(self._pending_commits[0][0])
-        if self._pos < len(self._trace) and self._dispatch_barrier > cycle:
-            if self.rob.empty and not self._pending_commits:
-                return max(cycle + 1, self._dispatch_barrier)
-            candidates.append(self._dispatch_barrier)
-        return min(c for c in candidates if c > cycle)
+    def _fast_forward(self, cycle: int) -> int:
+        """Skip a provably idle stretch of cycles after a no-progress cycle.
+
+        Between *cycle* and the earliest upcoming event -- the ROB head's
+        completion, the next pending store visibility, the dispatch barrier,
+        or (for an issue-queue-full stall) the next issue-queue drain --
+        nothing in the model can change state: commits are gated on the
+        head, SSNcommit on visibility, and a structurally stalled dispatch
+        stays stalled because every condition it broke on is frozen until
+        one of those events fires.  The skipped cycles' only observable
+        effect is their per-cycle stall statistics, which are bulk-added
+        here, making the jump bit-identical to stepping (see DESIGN.md,
+        "hot-path invariants").
+        """
+        nxt = -1
+        rob_entries = self.rob._entries
+        if rob_entries:
+            complete = rob_entries[0].complete_cycle
+            if complete < 0:
+                # An unscheduled head cannot be time-bounded; step.
+                return cycle + 1
+            nxt = complete  # > cycle, else the commit stage would have run
+        pending = self._pending_commits
+        if pending:
+            visible = pending[0][0]  # > cycle, else _advance_ssn_commit ran
+            if nxt < 0 or visible < nxt:
+                nxt = visible
+        dispatch_live = self._pos < len(self._trace)
+        if dispatch_live and self._dispatch_barrier > cycle:
+            barrier = self._dispatch_barrier
+            if nxt < 0 or barrier < nxt:
+                nxt = barrier
+        stalled = self._stall_counted
+        if stalled and self._stall_on_iq:
+            # Issue-queue-full stalls clear as booked issue cycles pass.
+            heap = self.iq._scheduled
+            if heap and (nxt < 0 or heap[0] < nxt):
+                nxt = heap[0]
+        if nxt <= cycle + 1:
+            return cycle + 1
+        if stalled:
+            # Each skipped cycle would have re-run dispatch and stalled on
+            # the same (frozen) condition; account its statistics in bulk.
+            skipped = nxt - cycle - 1
+            stats = self.stats
+            stats.dispatch_stall_cycles += skipped
+            if self._stall_on_sq:
+                stats.sq_full_stalls += skipped
+        return nxt
 
     def _advance_ssn_commit(self, cycle: int) -> None:
         """Advance SSNcommit for stores whose cache write became visible.
@@ -217,73 +351,245 @@ class Processor:
         exactly as the paper's pipeline (SSNcommit increments in the final
         commit stage, after the data-cache write stage).
         """
-        while self._pending_commits and self._pending_commits[0][0] <= cycle:
-            _, ssn, _store_seq = self._pending_commits.pop(0)
-            advanced = self.ssn.advance_commit()
-            if advanced != ssn:
+        pending = self._pending_commits
+        counters = self.ssn
+        srq = self.srq
+        srq_entries = srq._entries
+        while pending and pending[0][0] <= cycle:
+            _, ssn, _store_seq = pending.popleft()
+            # ssn.advance_commit and srq.retire inlined.
+            if counters.commit >= counters.rename:
+                raise SimulationError("SSNcommit would pass SSNrename")
+            counters.commit += 1
+            if counters.commit != ssn:
                 raise SimulationError(
-                    f"store commit SSN mismatch: {advanced} != {ssn}"
+                    f"store commit SSN mismatch: {counters.commit} != {ssn}"
                 )
-            self.srq.retire(ssn)
+            slot = ssn % srq.capacity
+            entry = srq_entries.get(slot)
+            if entry is not None and entry.ssn == ssn:
+                del srq_entries[slot]
 
     # ------------------------------------------------------------------ #
     # Dispatch (fetch / decode / rename)
     # ------------------------------------------------------------------ #
 
     def _dispatch_stage(self, cycle: int) -> bool:
-        if cycle < self._dispatch_barrier or self._pos >= len(self._trace):
+        # Reset the stall flag before ANY early return: a stale True (e.g.
+        # across a drain-wait cycle) would make _fast_forward bulk-add
+        # stall statistics the stepping loop never counted.
+        self._stall_counted = False
+        (
+            trace, rob_entries, rob_capacity, pregs, iq, lq, lq_unlimited,
+            sq, ssn, width, max_branches, max_taken, stacks, waiters,
+            exec_delay, port_used_map, port_limits, port_width,
+            lq_capacity, iq_heap, n,
+        ) = self._dispatch_ctx
+        if cycle < self._dispatch_barrier or self._pos >= n:
             return False
         if self._drain_pending:
-            if not self.rob.empty or self._pending_commits:
+            if rob_entries or self._pending_commits:
                 return False
             self._perform_drain(cycle)
             return False
 
-        config = self.config
+        is_conventional = self._is_conventional
+        stats = self.stats
+        nop = OpClass.NOP
+        pos = self._pos
         dispatched = 0
         group_branches = 0
         group_taken = 0
-        while dispatched < config.width and self._pos < len(self._trace):
-            inst = self._trace[self._pos]
-            if self.rob.full or not self.pregs.can_allocate:
+        iq_dispatches = 0
+        stall_iq = False
+        stall_sq = False
+        # ROB and issue-queue occupancy are tracked locally across the
+        # fetch group: within one dispatch call nothing else mutates the
+        # ROB, and every issue-queue insertion books a cycle strictly after
+        # *cycle* (so no lazily-popped entries can appear mid-group either).
+        # Occupancy is computed lazily (first iq-needing instruction).
+        rob_len = len(rob_entries)
+        iq_occ = -1
+        iq_cap = iq.capacity
+        while dispatched < width and pos < n:
+            inst = trace[pos]
+            if rob_len >= rob_capacity or pregs._free < 1:
                 break
-            if inst.is_load and not self.lq.unlimited and not self.lq.has_space():
-                break
-            if inst.is_store:
-                if self.sq is not None and self.sq.full:
-                    self.stats.sq_full_stalls += 1
+            is_store = inst.is_store
+            if inst.is_load:
+                # lq.has_space inlined.
+                if not lq_unlimited and lq.occupancy >= lq_capacity:
                     break
-                if self.ssn.rename + 1 >= self.ssn.limit:
+            elif is_store:
+                # sq.full inlined.
+                if sq is not None and len(sq._entries) >= sq.capacity:
+                    stats.sq_full_stalls += 1
+                    stall_sq = True
+                    break
+                if ssn.rename + 1 >= ssn.limit:
                     self._drain_pending = True
                     break
-            if inst.is_branch:
+            elif inst.is_branch:
                 group_branches += 1
-                if group_branches > config.max_branches_per_group:
+                if group_branches > max_branches:
                     break
-            needs_iq = self._enters_issue_queue(inst)
-            if needs_iq and not self.iq.has_space(cycle):
-                break
+            op = inst.op
+            # Inlined _enters_issue_queue (NoSQ stores never enter the
+            # out-of-order engine).
+            needs_iq = op is not nop and (
+                is_conventional or not is_store
+            )
+            if needs_iq:
+                if iq_occ < 0:
+                    # iq.occupancy inlined (lazy, once per fetch group).
+                    while iq_heap and iq_heap[0] <= cycle:
+                        heappop(iq_heap)
+                    iq_occ = len(iq_heap) + iq._unscheduled
+                if iq_occ >= iq_cap:
+                    stall_iq = True
+                    break
 
-            entry = InFlightInst(inst=inst, dispatch_cycle=cycle)
-            entry.ssn_rename_at_dispatch = self.ssn.rename
-            self._dispatch_one(entry, cycle)
-            self.rob.push(entry)
-            self._pos += 1
+            entry = InFlightInst(inst, cycle)
+            if is_store:
+                # ssn_rename_at_dispatch is only consulted for memory
+                # instructions (bypass distances, flush rollback targets).
+                entry.ssn_rename_at_dispatch = ssn.rename
+                self._dispatch_store(entry, cycle)
+                if entry.in_iq:
+                    iq_occ += 1
+            elif inst.is_load:
+                entry.ssn_rename_at_dispatch = ssn.rename
+                # _dispatch_load inlined (one call layer per load).
+                if not lq_unlimited:
+                    # lq.insert inlined (space pre-checked above).
+                    occ = lq.occupancy + 1
+                    lq.occupancy = occ
+                    if occ > lq.peak_occupancy:
+                        lq.peak_occupancy = occ
+                if is_conventional:
+                    self._dispatch_load_conventional(entry, cycle)
+                else:
+                    self._dispatch_load_nosq(entry, cycle)
+                dst = inst.dst
+                if dst is not None and not entry.bypassed:
+                    seq = entry.seq
+                    # pregs.allocate inlined (capacity pre-checked above).
+                    pregs._free -= 1
+                    pregs._refcounts[seq] = 1
+                    entry.allocated_preg = True
+                    if dst != REG_ZERO:
+                        stacks[dst].append((seq, entry))
+                if entry.in_iq:
+                    iq_occ += 1
+            elif op is nop:
+                entry.sched_kind = "none"
+                entry.complete_cycle = cycle + 1
+                entry.skips_issue_queue = True
+                dst = inst.dst
+                if dst is not None:
+                    seq = entry.seq
+                    # pregs.allocate inlined (capacity pre-checked above).
+                    pregs._free -= 1
+                    pregs._refcounts[seq] = 1
+                    entry.allocated_preg = True
+                    if dst != REG_ZERO:
+                        stacks[dst].append((seq, entry))
+            else:
+                # The hottest dispatch path (every ALU/branch/complex op):
+                # _dispatch_simple, _enter_issue_queue, mapper.define, and
+                # _try_schedule's immediate-success case are inlined here.
+                # A freshly dispatched entry can have no scheduling waiters
+                # (waiters key on in-flight producer seqs and are popped at
+                # squash/commit), so the generic wakeup machinery is only
+                # needed when a producer is still unscheduled -- and
+                # entry.producers only needs materializing on that slow
+                # path (nothing reads it after an entry is scheduled).
+                entry.sched_kind = "exec"
+                port = inst.port
+                entry.port_class = port
+                ready = cycle + 1 + exec_delay
+                blocked_on = None
+                for reg in inst.srcs:
+                    stack = stacks[reg]
+                    if stack:
+                        producer = stack[-1][1]
+                        complete = producer.complete_cycle
+                        if complete < 0:
+                            blocked_on = producer
+                            break
+                        if complete > ready:
+                            ready = complete
+                entry.in_iq = True
+                iq_occ += 1
+                iq_dispatches += 1
+                if blocked_on is not None:
+                    entry.producers = tuple(
+                        stack[-1][1]
+                        for reg in inst.srcs
+                        if (stack := stacks[reg])
+                    )
+                    waiters.setdefault(blocked_on.seq, []).append(entry)
+                    iq.add_unscheduled()
+                else:
+                    # PortSchedule.reserve's first-probe success inlined;
+                    # contended cycles fall back to the full probe loop.
+                    used = port_used_map.get(ready)
+                    if used is None:
+                        used = [0] * (len(port_limits) + 1)
+                        used[port] = 1
+                        used[-1] = 1
+                        port_used_map[ready] = used
+                        issue = ready
+                    elif used[-1] < port_width and used[port] < port_limits[port]:
+                        used[port] += 1
+                        used[-1] += 1
+                        issue = ready
+                    else:
+                        issue = self.ports.reserve(port, ready + 1)
+                    entry.issue_cycle = issue
+                    entry.complete_cycle = issue + inst.lat
+                    # add_unscheduled + schedule_unscheduled fused (and
+                    # iq.add_scheduled inlined): occupancy and peak
+                    # tracking see identical totals.
+                    heappush(iq_heap, issue)
+                    current = len(iq_heap) + iq._unscheduled
+                    if current > iq.peak_occupancy:
+                        iq.peak_occupancy = current
+                dst = inst.dst
+                if dst is not None:
+                    seq = entry.seq
+                    # pregs.allocate inlined (capacity pre-checked above).
+                    pregs._free -= 1
+                    pregs._refcounts[seq] = 1
+                    entry.allocated_preg = True
+                    # mapper.define inlined (REG_ZERO writes are discarded
+                    # exactly as RegisterMapper.define does).
+                    if dst != REG_ZERO:
+                        stacks[dst].append((seq, entry))
+            rob_entries.append(entry)
+            rob_len += 1
+            pos += 1
+            self._pos = pos
             dispatched += 1
 
             if inst.is_branch:
                 stop = self._handle_branch(entry, cycle)
                 if inst.taken:
                     group_taken += 1
-                if stop or group_taken >= config.max_taken_per_group:
+                if stop or group_taken >= max_taken:
                     break
+        if iq_dispatches:
+            stats.iq_dispatches += iq_dispatches
         if dispatched == 0:
-            self.stats.dispatch_stall_cycles += 1
+            stats.dispatch_stall_cycles += 1
+            self._stall_counted = True
+            self._stall_on_iq = stall_iq
+            self._stall_on_sq = stall_sq
         return dispatched > 0
 
     def _enters_issue_queue(self, inst: DynInst) -> bool:
         """Does this instruction occupy an issue-queue entry?"""
-        if self.config.mode is Mode.CONVENTIONAL:
+        if self._is_conventional:
             return inst.op is not OpClass.NOP
         # NoSQ: stores never dispatch to the out-of-order engine; bypassed
         # loads may (as injected ops), decided at rename.  Conservatively
@@ -292,52 +598,28 @@ class Processor:
             return False
         return inst.op is not OpClass.NOP
 
-    def _dispatch_one(self, entry: InFlightInst, cycle: int) -> None:
-        inst = entry.inst
-        if inst.is_store:
-            self._dispatch_store(entry, cycle)
-        elif inst.is_load:
-            self._dispatch_load(entry, cycle)
-        else:
-            self._dispatch_simple(entry, cycle)
-
-    def _dispatch_simple(self, entry: InFlightInst, cycle: int) -> None:
-        inst = entry.inst
-        if inst.op is OpClass.NOP:
-            entry.sched_kind = "none"
-            entry.complete_cycle = cycle + 1
-            entry.skips_issue_queue = True
-        else:
-            entry.sched_kind = "exec"
-            entry.port_class = int(inst.op)
-            entry.producers = self._producers_for(inst.srcs)
-            self._enter_issue_queue(entry)
-            self._try_schedule(entry)
-        if inst.dst is not None:
-            self.pregs.allocate(entry.seq)
-            entry.allocated_preg = True
-            self.mapper.define(inst.dst, entry.seq, entry)
-
     def _enter_issue_queue(self, entry: InFlightInst) -> None:
         entry.in_iq = True
         self.iq.add_unscheduled()
         self.stats.iq_dispatches += 1
 
     def _producers_for(self, srcs: tuple[int, ...]) -> tuple:
-        producers = []
-        for reg in srcs:
-            producer = self.mapper.producer(reg)
-            if producer is not None:
-                producers.append(producer)
-        return tuple(producers)
+        stacks = self.mapper._stacks
+        return tuple(
+            stack[-1][1] for reg in srcs if (stack := stacks[reg])
+        )
 
     # -- stores --------------------------------------------------------- #
 
     def _dispatch_store(self, entry: InFlightInst, cycle: int) -> None:
         inst = entry.inst
-        ssn, wrapped = self.ssn.next_rename()
-        if wrapped:
+        counters = self.ssn
+        if counters.rename + 1 >= counters.limit:
+            # The dispatch loop drains before this can happen.
             raise SimulationError("SSN wrap must be drained before renaming")
+        # ssn.next_rename inlined (non-wrapping path).
+        ssn = counters.rename + 1
+        counters.rename = ssn
         entry.ssn = ssn
         self._inflight_stores[inst.store_seq] = entry
 
@@ -356,13 +638,43 @@ class Processor:
             )
         )
 
-        if self.config.mode is Mode.CONVENTIONAL:
+        if self._is_conventional:
             # Execute out-of-order: address generation + data capture.
+            # Same inlined dispatch-time scheduler as the simple-op fast
+            # path (fresh entry, so no waiters; producers only materialize
+            # when a producer is still unscheduled).
             entry.sched_kind = "exec"
-            entry.port_class = int(OpClass.STORE)
-            entry.producers = self._producers_for(inst.srcs)
-            self._enter_issue_queue(entry)
-            self._try_schedule(entry)
+            entry.port_class = _STORE_PORT
+            stacks = self.mapper._stacks
+            ready = cycle + 1 + self._exec_delay
+            blocked_on = None
+            for reg in inst.srcs:
+                stack = stacks[reg]
+                if stack:
+                    producer = stack[-1][1]
+                    complete = producer.complete_cycle
+                    if complete < 0:
+                        blocked_on = producer
+                        break
+                    if complete > ready:
+                        ready = complete
+            entry.in_iq = True
+            self.stats.iq_dispatches += 1
+            if blocked_on is not None:
+                entry.producers = tuple(
+                    stack[-1][1]
+                    for reg in inst.srcs
+                    if (stack := stacks[reg])
+                )
+                self._sched_waiters.setdefault(
+                    blocked_on.seq, []
+                ).append(entry)
+                self.iq.add_unscheduled()
+            else:
+                issue = self.ports.reserve(_STORE_PORT, ready)
+                entry.issue_cycle = issue
+                entry.complete_cycle = issue + inst.lat
+                self.iq.add_scheduled(issue)
             self.sq.insert(
                 StoreQueueEntry(
                     seq=inst.seq,
@@ -383,18 +695,6 @@ class Processor:
 
     # -- loads ---------------------------------------------------------- #
 
-    def _dispatch_load(self, entry: InFlightInst, cycle: int) -> None:
-        if not self.lq.unlimited:
-            self.lq.insert()
-        if self.config.mode is Mode.CONVENTIONAL:
-            self._dispatch_load_conventional(entry, cycle)
-        else:
-            self._dispatch_load_nosq(entry, cycle)
-        if entry.inst.dst is not None and not entry.bypassed:
-            self.pregs.allocate(entry.seq)
-            entry.allocated_preg = True
-            self.mapper.define(entry.inst.dst, entry.seq, entry)
-
     def _classify_against_sq(self, inst: DynInst) -> tuple[str, int]:
         """Classification an associative SQ search would produce.
 
@@ -403,30 +703,27 @@ class Processor:
         equivalent to :meth:`repro.ooo.lsq.StoreQueue.search` restricted to
         in-flight stores (a property verified by tests).
         """
+        inflight = self._inflight_stores
         inflight_sources = [
-            s for s in set(inst.src_stores)
-            if s != MEMORY_SOURCE and s in self._inflight_stores
+            s for s in inst.unique_stores if s in inflight
         ]
         if not inflight_sources:
             return "none", -1
-        all_sources = {s for s in inst.src_stores}
-        if (
-            len(all_sources) == 1
-            and inst.containing_store in self._inflight_stores
-        ):
+        # containing_store is set iff exactly one store covers every byte,
+        # so "is it in flight" is the whole full-coverage test.
+        if inst.containing_store in inflight:
             return "full", inst.containing_store
         return "partial", max(inflight_sources)
 
     def _dispatch_load_conventional(self, entry: InFlightInst, cycle: int) -> None:
         inst = entry.inst
-        entry.sched_kind = "load"
-        entry.producers = self._producers_for(inst.srcs)
-        self._enter_issue_queue(entry)
-
         kind, source_seq = self._classify_against_sq(inst)
         if kind == "partial":
             # The store queue cannot assemble the value from multiple
             # stores; the load waits for the involved stores to drain.
+            entry.sched_kind = "load"
+            entry.producers = self._producers_for(inst.srcs)
+            self._enter_issue_queue(entry)
             self._commit_waiters.setdefault(source_seq, []).append(entry)
             return
         if kind == "full":
@@ -434,28 +731,43 @@ class Processor:
             entry.predicted_store_seq = source_seq
 
         if self.config.scheduler is SchedulerKind.PERFECT:
+            entry.sched_kind = "load"
+            entry.producers = self._producers_for(inst.srcs)
+            self._enter_issue_queue(entry)
+            inflight = self._inflight_stores
             blockers = [
-                self._inflight_stores[s]
-                for s in set(inst.src_stores)
-                if s != MEMORY_SOURCE and s in self._inflight_stores
+                inflight[s] for s in inst.unique_stores if s in inflight
             ]
             entry.producers = entry.producers + tuple(blockers)
             visible_floor = 0
-            for s in set(inst.src_stores):
-                if s == MEMORY_SOURCE or s in self._inflight_stores:
+            visible_cycles = self._visible_cycles
+            num_visible = len(visible_cycles)
+            for s in inst.unique_stores:
+                if s in inflight:
                     continue
-                if s < len(self._visible_cycles):
-                    visible_floor = max(visible_floor, self._visible_cycles[s])
+                if s < num_visible:
+                    visible_floor = max(visible_floor, visible_cycles[s])
             entry.min_ready = visible_floor
-        elif self.store_sets is not None:
-            handle = self.store_sets.load_dependence(inst.pc)
-            if (
-                isinstance(handle, InFlightInst)
-                and not handle.squashed
-                and handle.seq < inst.seq
-            ):
-                entry.producers = entry.producers + (handle,)
-        self._try_schedule(entry)
+            self._try_schedule(entry)
+        else:
+            handle = None
+            if self.store_sets is not None:
+                handle = self.store_sets.load_dependence(inst.pc)
+                if not (
+                    isinstance(handle, InFlightInst)
+                    and not handle.squashed
+                    and handle.seq < inst.seq
+                ):
+                    handle = None
+            if handle is not None:
+                entry.sched_kind = "load"
+                entry.producers = self._producers_for(inst.srcs) + (handle,)
+                self._enter_issue_queue(entry)
+                self._try_schedule(entry)
+            else:
+                # Common case (no store-set dependence): the fast
+                # dispatch-time scheduler (handles sq_forwarded loads too).
+                self._setup_nonbypassing_load(entry)
         if self.config.smb_opportunistic:
             self._apply_opportunistic_smb(entry)
 
@@ -471,7 +783,7 @@ class Processor:
         """
         inst = entry.inst
         pred = self.bypass_predictor.predict(
-            inst.pc, self._path_hist[inst.seq]
+            inst.pc, inst.path_hist
         )
         entry.pred_hit = pred.hit
         entry.path_sensitive_hit = pred.path_sensitive
@@ -525,7 +837,7 @@ class Processor:
                 )
             self._dispatch_barrier = max(
                 self._dispatch_barrier,
-                resolve + self.config.frontend_depth,
+                resolve + self._frontend_depth,
             )
 
     def _dispatch_load_nosq(self, entry: InFlightInst, cycle: int) -> None:
@@ -534,25 +846,29 @@ class Processor:
             self._dispatch_load_nosq_perfect(entry, cycle)
             return
 
-        history = self._path_hist[inst.seq]
-        pred = self.bypass_predictor.predict(inst.pc, history)
-        self.stats.predictor_lookups += 1
+        pred = self.bypass_predictor.predict(inst.pc, inst.path_hist)
+        stats = self.stats
+        stats.predictor_lookups += 1
         if pred.path_sensitive:
-            self.stats.predictor_path_hits += 1
+            stats.predictor_path_hits += 1
         entry.path_sensitive_hit = pred.path_sensitive
         entry.pred_hit = pred.hit
 
         ssn_byp = -1
-        if pred.predicts_bypass:
+        # pred.predicts_bypass inlined (property call per predicted load).
+        if pred.hit and pred.dist != NO_BYPASS:
             ssn_byp = entry.ssn_rename_at_dispatch + 1 - pred.dist
-        if ssn_byp <= self.ssn.commit or ssn_byp > self.ssn.rename:
+        counters = self.ssn
+        if ssn_byp <= counters.commit or ssn_byp > counters.rename:
             # Predictor miss, non-bypass prediction, or the predicted store
             # already committed: plain (unscheduled) cache access.
             self._setup_nonbypassing_load(entry)
             return
 
-        srq_entry = self.srq.lookup(ssn_byp)
-        if srq_entry is None:
+        # srq.lookup inlined (runs once per predicted in-flight bypass).
+        srq = self.srq
+        srq_entry = srq._entries.get(ssn_byp % srq.capacity)
+        if srq_entry is None or srq_entry.ssn != ssn_byp:
             raise SimulationError(f"in-flight SSN {ssn_byp} missing from SRQ")
 
         if self.config.delay_enabled and not pred.confident:
@@ -568,7 +884,7 @@ class Processor:
                 # the back end; its visibility cycle is known.
                 visible = self._visible_cycles[srq_entry.store_seq]
                 entry.min_ready = max(
-                    0, visible - self.config.hierarchy.l1_latency + 1
+                    0, visible - self._l1_latency + 1
                 )
                 self._try_schedule(entry)
             else:
@@ -616,8 +932,7 @@ class Processor:
             )
             return
         inflight_sources = [
-            s for s in set(inst.src_stores)
-            if s != MEMORY_SOURCE and s in self._inflight_stores
+            s for s in inst.unique_stores if s in self._inflight_stores
         ]
         if inflight_sources:
             # Multi-source partial-store case: idealized delay.
@@ -631,19 +946,96 @@ class Processor:
             return
         # Sources (if any) committed: make sure the cache read sees them.
         visible_floor = 0
-        for s in set(inst.src_stores):
-            if s != MEMORY_SOURCE and s < len(self._visible_cycles):
+        for s in inst.unique_stores:
+            if s < len(self._visible_cycles):
                 visible_floor = max(visible_floor, self._visible_cycles[s])
         self._setup_nonbypassing_load(entry, min_ready=visible_floor)
 
     def _setup_nonbypassing_load(
         self, entry: InFlightInst, min_ready: int = 0
     ) -> None:
+        """Dispatch-time setup + scheduling of a plain cache-reading load.
+
+        The second-hottest dispatch path (every non-bypassed load):
+        _enter_issue_queue and _try_schedule's immediate-success case are
+        inlined, mirroring the simple-op fast path in _dispatch_stage (same
+        fresh-entry/no-waiters argument; entry.producers only materializes
+        when a producer is still unscheduled).
+        """
+        inst = entry.inst
         entry.sched_kind = "load"
-        entry.producers = self._producers_for(entry.inst.srcs)
         entry.min_ready = min_ready
-        self._enter_issue_queue(entry)
-        self._try_schedule(entry)
+        entry.in_iq = True
+        self.stats.iq_dispatches += 1
+        stacks = self.mapper._stacks
+        ready = entry.dispatch_cycle + 1 + self._exec_delay
+        if min_ready > ready:
+            ready = min_ready
+        blocked_on = None
+        for reg in inst.srcs:
+            stack = stacks[reg]
+            if stack:
+                producer = stack[-1][1]
+                complete = producer.complete_cycle
+                if complete < 0:
+                    blocked_on = producer
+                    break
+                if complete > ready:
+                    ready = complete
+        if blocked_on is not None:
+            entry.producers = tuple(
+                stack[-1][1] for reg in inst.srcs if (stack := stacks[reg])
+            )
+            self._sched_waiters.setdefault(blocked_on.seq, []).append(entry)
+            self.iq.add_unscheduled()
+            return
+        # PortSchedule.reserve's first-probe success inlined; contended
+        # cycles fall back to the full probe loop.
+        ports = self.ports
+        used = ports._used_by_cycle.get(ready)
+        if used is None:
+            used = [0] * (len(ports._limits) + 1)
+            used[_LOAD_PORT] = 1
+            used[-1] = 1
+            ports._used_by_cycle[ready] = used
+            issue = ready
+        elif used[-1] < ports.total_width and (
+            used[_LOAD_PORT] < ports._limits[_LOAD_PORT]
+        ):
+            used[_LOAD_PORT] += 1
+            used[-1] += 1
+            issue = ready
+        else:
+            issue = ports.reserve(_LOAD_PORT, ready + 1)
+        entry.issue_cycle = issue
+        latency = self.hierarchy.read(inst.addr)
+        if entry.sq_forwarded:
+            # The value comes from the store queue at forwarding latency;
+            # the parallel cache probe still happens (and may fetch the
+            # line) but its miss is not on the value path.
+            latency = self._l1_latency
+        # tlb.access's hit path inlined (one probe per scheduled load).
+        tlb = self.tlb
+        addr = inst.addr
+        vpn = addr >> tlb._page_shift
+        tlb_set = tlb._sets[vpn & (tlb.num_sets - 1)]
+        tag = vpn >> (tlb.num_sets.bit_length() - 1)
+        if tag in tlb_set:
+            tlb_set.pop(tag)
+            tlb_set[tag] = None
+            tlb.stats.hits += 1
+        else:
+            latency += tlb.access(addr)
+        entry.dcache_read_cycle = issue + self._l1_latency
+        entry.complete_cycle = issue + latency
+        self.stats.ooo_dcache_reads += 1
+        # iq.add_scheduled inlined.
+        iq = self.iq
+        heap = iq._scheduled
+        heappush(heap, issue)
+        current = len(heap) + iq._unscheduled
+        if current > iq.peak_occupancy:
+            iq.peak_occupancy = current
 
     def _setup_bypassing_load(
         self,
@@ -751,47 +1143,49 @@ class Processor:
             floor = entry.dispatch_cycle + 1
         else:
             # Schedule + register-read stages separate rename from execute.
-            floor = entry.dispatch_cycle + 1 + self.config.exec_delay
-        ready = max(entry.min_ready, floor)
+            floor = entry.dispatch_cycle + 1 + self._exec_delay
+        ready = entry.min_ready
+        if floor > ready:
+            ready = floor
         for producer in entry.producers:
             if producer is None:
                 continue
-            if producer.complete_cycle < 0:
+            complete = producer.complete_cycle
+            if complete < 0:
                 self._sched_waiters.setdefault(producer.seq, []).append(entry)
                 return False
-            ready = max(ready, producer.complete_cycle)
+            if complete > ready:
+                ready = complete
 
         if kind == "bypass":
             entry.complete_cycle = ready
         elif kind == "exec":
-            entry.issue_cycle = self.ports.reserve(
-                OpClass(entry.port_class), ready
-            )
+            entry.issue_cycle = self.ports.reserve(entry.port_class, ready)
             entry.complete_cycle = entry.issue_cycle + entry.inst.lat
             if entry.in_iq:
                 self.iq.schedule_unscheduled(entry.issue_cycle)
         elif kind == "load":
-            entry.issue_cycle = self.ports.reserve(OpClass.LOAD, ready)
+            issue = self.ports.reserve(_LOAD_PORT, ready)
+            entry.issue_cycle = issue
             latency = self.hierarchy.read(entry.inst.addr)
             if entry.sq_forwarded:
                 # The value comes from the store queue at forwarding
                 # latency; the parallel cache probe still happens (and may
                 # fetch the line) but its miss is not on the value path.
-                latency = self.config.hierarchy.l1_latency
+                latency = self._l1_latency
             latency += self.tlb.access(entry.inst.addr)
             # The cache is read at the end of the L1 access pipeline; a
             # store whose back-end write drains by then is observed.
-            entry.dcache_read_cycle = (
-                entry.issue_cycle + self.config.hierarchy.l1_latency
-            )
-            entry.complete_cycle = entry.issue_cycle + latency
+            entry.dcache_read_cycle = issue + self._l1_latency
+            entry.complete_cycle = issue + latency
             self.stats.ooo_dcache_reads += 1
             if entry.in_iq:
-                self.iq.schedule_unscheduled(entry.issue_cycle)
+                self.iq.schedule_unscheduled(issue)
         else:  # "none"
             if entry.complete_cycle < 0:
                 entry.complete_cycle = entry.dispatch_cycle + 1
-        self._wake_sched_waiters(entry)
+        if entry.seq in self._sched_waiters:
+            self._wake_sched_waiters(entry)
         return True
 
     def _wake_sched_waiters(self, producer: InFlightInst) -> None:
@@ -809,13 +1203,22 @@ class Processor:
     # ------------------------------------------------------------------ #
 
     def _commit_stage(self, cycle: int) -> bool:
+        (
+            rob_entries, commit_width, lq, lq_unlimited, pregs, waiters,
+        ) = self._commit_ctx
         committed = 0
         stores_committed = 0
-        while committed < self.config.commit_width:
-            entry = self.rob.head
-            if entry is None:
+        stats = self.stats
+        refcounts = pregs._refcounts
+        retire_backlog = self._retire_backlog
+        committed_total = self._committed_total
+        warmup_target = self._warmup
+        while committed < commit_width:
+            if not rob_entries:
                 break
-            if entry.complete_cycle < 0 or entry.complete_cycle > cycle:
+            entry = rob_entries[0]
+            complete = entry.complete_cycle
+            if complete < 0 or complete > cycle:
                 break
             inst = entry.inst
             if inst.is_store and stores_committed:
@@ -826,52 +1229,65 @@ class Processor:
                 break
             flushed = False
             if inst.is_store:
-                self.stats.stores += 1
+                stats.stores += 1
                 self._commit_store(entry, cycle)
                 stores_committed += 1
             elif inst.is_load:
-                self.stats.loads += 1
-                self._count_load_class(entry)
+                stats.loads += 1
                 flushed = self._commit_load(entry, cycle)
             elif inst.is_branch:
-                self.stats.branches += 1
-            self._release_at_commit(entry)
-            self.rob.pop_head()
+                stats.branches += 1
+            # _release_at_commit inlined (runs once per committed inst).
+            seq = entry.seq
+            if entry.allocated_preg:
+                # pregs.release inlined: drop one reference, free at zero.
+                count = refcounts.get(seq)
+                if count is not None:
+                    if count <= 1:
+                        del refcounts[seq]
+                        pregs._free += 1
+                    else:
+                        refcounts[seq] = count - 1
+            if entry.shared_with_seq >= 0:
+                pregs.release(entry.shared_with_seq)
+            if inst.is_load and not lq_unlimited:
+                lq.remove()
+            retire_backlog += 1
+            if retire_backlog >= _RETIRE_BATCH:
+                retire_backlog = 0
+                self.mapper.retire_older_than(seq)
+            if seq in waiters:
+                del waiters[seq]
+            rob_entries.popleft()
             committed += 1
-            self._committed_total += 1
-            if self._committed_total == self._warmup:
+            committed_total += 1
+            if committed_total == warmup_target:
                 # End of the warmup window: statistics restart here with
                 # all microarchitectural state (predictors, caches, filter)
                 # left warm.
                 self.stats = RunStats(config_name=self.config.name)
                 self._measure_start_cycle = cycle
+                stats = self.stats
             if flushed:
                 break
+        self._retire_backlog = retire_backlog
+        self._committed_total = committed_total
         return committed > 0
-
-    def _release_at_commit(self, entry: InFlightInst) -> None:
-        if entry.allocated_preg:
-            self.pregs.release(entry.seq)
-        if entry.shared_with_seq >= 0:
-            self.pregs.release(entry.shared_with_seq)
-        if entry.inst.is_load and not self.lq.unlimited:
-            self.lq.remove()
-        self.mapper.retire_older_than(entry.seq)
-        self._sched_waiters.pop(entry.seq, None)
 
     # -- stores ----------------------------------------------------------- #
 
     def _commit_store(self, entry: InFlightInst, cycle: int) -> None:
         inst = entry.inst
         visible = self.commit_pipeline.store_commit(cycle, inst.addr, inst.size)
-        self.svw.store_commit(inst.addr, inst.size, entry.ssn)
+        # svw.store_commit is a pure delegation to the T-SSBF update.
+        self.ssbf.update(inst.addr, inst.size, entry.ssn)
         if len(self._visible_cycles) != inst.store_seq:
             raise SimulationError("store visibility timeline out of order")
         self._visible_cycles.append(visible)
         self._store_entry_cycles.append(cycle)
         self._pending_commits.append((visible, entry.ssn, inst.store_seq))
         self._inflight_stores.pop(inst.store_seq, None)
-        if self.config.mode is Mode.CONVENTIONAL:
+        if self._is_conventional:
             self._store_exec_cycles[inst.store_seq] = entry.complete_cycle
         if self.sq is not None:
             head = self.sq.commit_head()
@@ -883,7 +1299,7 @@ class Processor:
         # overlap): their cache read must see the store's data.
         waiters = self._commit_waiters.pop(inst.store_seq, None)
         if waiters:
-            wake = max(0, visible - self.config.hierarchy.l1_latency + 1)
+            wake = max(0, visible - self._l1_latency + 1)
             for waiter in waiters:
                 if waiter.squashed:
                     continue
@@ -927,17 +1343,14 @@ class Processor:
         # buffer, so a store is observable once it enters the back end;
         # NoSQ has no such datapath and needs the write to be visible in
         # the cache itself.
-        if self.config.mode is Mode.CONVENTIONAL:
+        if self._is_conventional:
             timeline = self._store_entry_cycles
         else:
             timeline = self._visible_cycles
-        for source in set(inst.src_stores):
-            if source == MEMORY_SOURCE:
-                continue
-            if (
-                source >= len(timeline)
-                or timeline[source] > entry.dcache_read_cycle
-            ):
+        num_known = len(timeline)
+        read_cycle = entry.dcache_read_cycle
+        for source in inst.unique_stores:
+            if source >= num_known or timeline[source] > read_cycle:
                 return False
         return True
 
@@ -969,7 +1382,30 @@ class Processor:
     def _commit_load(self, entry: InFlightInst, cycle: int) -> bool:
         """Verify and commit the load at the ROB head; True if it flushed."""
         inst = entry.inst
-        value_ok = self._load_value_ok(entry)
+        stats = self.stats
+        # _count_load_class inlined (runs once per committed load).
+        if entry.bypassed:
+            stats.bypassed_loads += 1
+            if entry.injected_op:
+                stats.bypass_injected += 1
+            else:
+                stats.bypass_identity += 1
+        elif entry.smb_applied:
+            # Opportunistic SMB: the load still executed, but its consumers
+            # were short-circuited through rename.
+            stats.bypassed_loads += 1
+            stats.bypass_identity += 1
+            stats.nonbypassed_loads += 1
+        elif entry.delayed:
+            stats.delayed_loads += 1
+        else:
+            stats.nonbypassed_loads += 1
+        # A plain load with no in-trace sources is trivially correct
+        # (_load_value_ok would walk an empty source set).
+        if entry.bypassed or entry.sq_forwarded or inst.unique_stores:
+            value_ok = self._load_value_ok(entry)
+        else:
+            value_ok = True
         flush = False
 
         if entry.bypassed:
@@ -1008,11 +1444,29 @@ class Processor:
                 # forwarding store" (Section 2.2).
                 ssn_nvul = self._arch_ssn(entry.predicted_store_seq)
             else:
-                ssn_nvul = self._ssn_nvul_at(entry.dcache_read_cycle)
+                # _ssn_nvul_at inlined (runs once per non-forwarded load).
+                ssn_nvul = (
+                    bisect_right(
+                        self._visible_cycles, entry.dcache_read_cycle
+                    )
+                    - self._epoch_store_base
+                )
+                if ssn_nvul < 0:
+                    ssn_nvul = 0
             entry.ssn_nvul = ssn_nvul
-            needs_reexec = self.svw.test_nonbypassing(
-                inst.addr, inst.size, ssn_nvul
-            )
+            # SVWFilter.test_nonbypassing inlined (once per committed
+            # non-bypassed load); keep in sync with repro.core.svw.
+            svw_stats = self.svw.stats
+            svw_stats.nonbypassing_tests += 1
+            ssbf = self.ssbf
+            if ssbf.max_recorded_ssn <= ssn_nvul:
+                needs_reexec = False
+            else:
+                needs_reexec = (
+                    ssbf.youngest_store_ssn(inst.addr, inst.size) > ssn_nvul
+                )
+                if needs_reexec:
+                    svw_stats.nonbypassing_reexecs += 1
             if not self.config.svw_enabled:
                 # Unfiltered: any load that executed with older stores in
                 # flight is speculative and must re-execute.
@@ -1027,7 +1481,12 @@ class Processor:
                     f"SVW filtered a stale load at seq {inst.seq}"
                 )
 
-        self._train_on_commit(entry, mispredicted=flush)
+        # _train_on_commit's mode dispatch inlined: the common NoSQ case
+        # trains the bypassing predictor directly.
+        if self._train_kind == "nosq":
+            self._train_bypass_predictor(entry, flush)
+        else:
+            self._train_on_commit(entry, mispredicted=flush)
         if flush:
             self._record_flush_cause(entry)
             self._flush_after(entry, cycle)
@@ -1046,9 +1505,7 @@ class Processor:
                 else:
                     # A missed short-circuit opportunity: the load forwarded
                     # from a nearby store but no prediction was available.
-                    sources = [
-                        s for s in inst.src_stores if s != MEMORY_SOURCE
-                    ]
+                    sources = inst.unique_stores
                     train_event = bool(sources) and not entry.pred_hit and (
                         entry.ssn_rename_at_dispatch + 1
                         - self._arch_ssn(max(sources))
@@ -1056,9 +1513,7 @@ class Processor:
                     )
                 self._train_bypass_predictor(entry, train_event)
             if mispredicted and self.store_sets is not None:
-                sources = [
-                    s for s in entry.inst.src_stores if s != MEMORY_SOURCE
-                ]
+                sources = entry.inst.unique_stores
                 if sources:
                     store_pc = self._store_insts[max(sources)].pc
                     self.store_sets.train_violation(entry.inst.pc, store_pc)
@@ -1070,9 +1525,7 @@ class Processor:
             ):
                 # Conventional violation: put the load and the youngest
                 # in-window source store in a common store set.
-                sources = [
-                    s for s in entry.inst.src_stores if s != MEMORY_SOURCE
-                ]
+                sources = entry.inst.unique_stores
                 if sources:
                     store_pc = self._store_insts[max(sources)].pc
                     self.store_sets.train_violation(entry.inst.pc, store_pc)
@@ -1091,7 +1544,7 @@ class Processor:
         # loads that is the containing store; for multi-source partial-store
         # cases it is the youngest byte writer -- and predicting it is what
         # lets *delay* wait for the right store (Section 3.3).
-        sources = [s for s in inst.src_stores if s != MEMORY_SOURCE]
+        sources = inst.unique_stores
         if sources:
             youngest = max(sources)
             source_ssn = self._arch_ssn(youngest)
@@ -1106,7 +1559,7 @@ class Processor:
                     actual_size = store.size
         self.bypass_predictor.train(
             inst.pc,
-            self._path_hist[inst.seq],
+            inst.path_hist,
             mispredicted=mispredicted,
             prediction_available=entry.pred_hit,
             actual_dist=actual_dist,
@@ -1118,7 +1571,7 @@ class Processor:
 
     def _record_flush_cause(self, entry: InFlightInst) -> None:
         inst = entry.inst
-        if self.config.mode is Mode.CONVENTIONAL:
+        if self._is_conventional:
             self.stats.flush_conv_violation += 1
             return
         if entry.bypassed:
@@ -1140,7 +1593,7 @@ class Processor:
         self.stats.flushes += 1
         detect = self.commit_pipeline.flush_detect_cycle(cycle)
         self._dispatch_barrier = max(
-            self._dispatch_barrier, detect + self.config.frontend_depth
+            self._dispatch_barrier, detect + self._frontend_depth
         )
         squashed = self.rob.squash_younger(victim.seq)
         lq_frees = 0

@@ -1,0 +1,206 @@
+"""Micro-benchmark harness: schema round-trip, comparison logic, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    PHASE_NAMES,
+    compare_reports,
+    load_report,
+    run_bench,
+)
+from repro.bench.compare import END_TO_END, PhaseComparison, render_comparison
+from repro.bench.harness import render_report, write_report
+from repro.cli import main
+
+
+def tiny_report(rates=None, rev="testrev"):
+    """A synthetic report with controllable per-metric rates."""
+    rates = rates or {}
+    phases = [
+        {
+            "name": name,
+            "wall_s": 0.5,
+            "work": int(rates.get(name, 1000.0) * 0.5),
+            "unit": "ops",
+            "rate": rates.get(name, 1000.0),
+        }
+        for name in PHASE_NAMES
+    ]
+    end_rate = rates.get(END_TO_END, 50_000.0)
+    return {
+        "schema": BENCH_SCHEMA,
+        "rev": rev,
+        "created": "2026-01-01T00:00:00+00:00",
+        "scale": "smoke",
+        "seed": 17,
+        "repeat": 1,
+        "python": "3.11",
+        "platform": "test",
+        "peak_rss_kb": 1,
+        "end_to_end": {
+            "wall_s": 1.0,
+            "instructions": int(end_rate),
+            "inst_per_sec": end_rate,
+            "benchmarks": ["gzip"],
+            "configs": ["sq-perfect"],
+        },
+        "phases": phases,
+    }
+
+
+class TestSchemaRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        report = tiny_report()
+        path = write_report(report, tmp_path / "BENCH_testrev.json")
+        assert load_report(path) == report
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_load_rejects_missing_sections(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(ValueError):
+            load_report(path)
+        path.write_text(json.dumps({"end_to_end": {}}))
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_real_run_emits_valid_schema(self):
+        # One minimal real run: a single benchmark, single repeat.
+        report = run_bench(scale="smoke", benchmarks=["gzip"], repeat=1)
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["end_to_end"]["instructions"] > 0
+        assert report["end_to_end"]["inst_per_sec"] > 0
+        assert report["peak_rss_kb"] > 0
+        assert [p["name"] for p in report["phases"]] == list(PHASE_NAMES)
+        for phase in report["phases"]:
+            assert phase["rate"] > 0
+            assert phase["work"] > 0
+        # The table renderer accepts the real report.
+        assert "end_to_end" in render_report(report)
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            run_bench(scale="galactic")
+
+
+class TestDeterministicPhaseLabels:
+    def test_phase_names_stable(self):
+        assert PHASE_NAMES == (
+            "trace_generation",
+            "dispatch_issue",
+            "svw_ssbf_verify",
+            "store_sets",
+            "memory_hierarchy",
+        )
+
+    def test_comparison_order_is_end_to_end_then_phases(self):
+        comparisons = compare_reports(tiny_report(), tiny_report())
+        assert [c.metric for c in comparisons] == [END_TO_END, *PHASE_NAMES]
+
+
+class TestCompare:
+    def test_no_regression_when_identical(self):
+        comparisons = compare_reports(tiny_report(), tiny_report())
+        assert comparisons and not any(c.regressed for c in comparisons)
+
+    def test_speedup_is_not_a_regression(self):
+        base = tiny_report()
+        cand = tiny_report(rates={END_TO_END: 150_000.0})
+        comparisons = compare_reports(base, cand, threshold=0.2)
+        end = comparisons[0]
+        assert end.metric == END_TO_END
+        assert end.ratio == pytest.approx(3.0)
+        assert not end.regressed
+
+    def test_drop_beyond_threshold_regresses(self):
+        base = tiny_report()
+        cand = tiny_report(rates={"dispatch_issue": 700.0})  # -30%
+        comparisons = compare_reports(base, cand, threshold=0.2)
+        flagged = [c for c in comparisons if c.regressed]
+        assert [c.metric for c in flagged] == ["dispatch_issue"]
+
+    def test_drop_within_threshold_passes(self):
+        base = tiny_report()
+        cand = tiny_report(rates={"dispatch_issue": 850.0})  # -15%
+        comparisons = compare_reports(base, cand, threshold=0.2)
+        assert not any(c.regressed for c in comparisons)
+
+    def test_threshold_boundary_is_exclusive(self):
+        comparison = PhaseComparison(
+            metric="m", baseline_rate=1000.0, candidate_rate=800.0,
+            threshold=0.2,
+        )
+        # Exactly -20% is not "more than 20%".
+        assert not comparison.regressed
+        assert PhaseComparison(
+            metric="m", baseline_rate=1000.0, candidate_rate=799.0,
+            threshold=0.2,
+        ).regressed
+
+    def test_unshared_phases_are_skipped(self):
+        base = tiny_report()
+        cand = tiny_report()
+        cand["phases"] = [
+            p for p in cand["phases"] if p["name"] != "store_sets"
+        ] + [{"name": "new_phase", "wall_s": 1, "work": 1, "unit": "ops",
+              "rate": 1.0}]
+        metrics = [c.metric for c in compare_reports(base, cand)]
+        assert "store_sets" not in metrics
+        assert "new_phase" not in metrics
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(tiny_report(), tiny_report(), threshold=1.5)
+
+    def test_render_comparison(self):
+        comparisons = compare_reports(
+            tiny_report(), tiny_report(rates={END_TO_END: 10_000.0})
+        )
+        table = render_comparison(comparisons, "a", "b")
+        assert "REGRESSED" in table
+        assert END_TO_END in table
+
+
+class TestCli:
+    def test_bench_run_and_compare(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "BENCH_a.json"
+        assert main([
+            "bench", "run", "gzip", "--repeat", "1", "-q",
+            "-o", str(out),
+        ]) == 0
+        assert out.is_file()
+        report = load_report(out)
+        assert report["end_to_end"]["benchmarks"] == ["gzip"]
+        # Identical reports: compare passes.
+        assert main(["bench", "compare", str(out), str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "no regressions" in captured.out
+
+    def test_bench_compare_detects_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        write_report(tiny_report(), base)
+        write_report(tiny_report(rates={END_TO_END: 10_000.0}), cand)
+        assert main([
+            "bench", "compare", str(base), str(cand), "--threshold", "0.2",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.err
+
+    def test_bench_compare_missing_file(self, tmp_path):
+        assert main([
+            "bench", "compare", str(tmp_path / "nope.json"),
+            str(tmp_path / "nope2.json"),
+        ]) == 2
+
+    def test_bench_run_rejects_unknown_benchmark(self):
+        assert main(["bench", "run", "not-a-benchmark", "-q"]) == 2
