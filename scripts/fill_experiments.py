@@ -9,7 +9,6 @@ tables stay in results/.
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent

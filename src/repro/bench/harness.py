@@ -51,13 +51,15 @@ BENCH_SCHEMA = 1
 #: compression, applu: FP stencil, mcf: memory-bound, vortex: high-comm).
 BENCH_BENCHMARKS = ("adpcm.d", "gzip", "applu", "mcf", "vortex")
 
-#: Ordered, stable phase names (the comparison contract).
+#: Ordered, stable phase names (the comparison contract).  New phases
+#: append (compare skips metrics a report does not have).
 PHASE_NAMES = (
     "trace_generation",
     "dispatch_issue",
     "svw_ssbf_verify",
     "store_sets",
     "memory_hierarchy",
+    "trace_io",
 )
 
 _NAMED_SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
@@ -275,6 +277,27 @@ def run_bench(
         wall, work = _best_of(repeat, lambda fn=fn: fn(iterations))
         unit = "inst" if name == "dispatch_issue" else "ops"
         phases.append(_phase_record(name, wall, work, unit))
+
+    # Trace I/O: a v2 binary save/load round trip of the generated
+    # traces (the repro.traces serialization hot path).
+    import tempfile
+
+    from repro.traces.binformat import load_trace as load_binary
+    from repro.traces.binformat import write_trace
+
+    say(f"trace_io: {len(traces)} traces x {repeat} rounds")
+
+    def roundtrip_all() -> int:
+        total = 0
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            for name, trace in traces.items():
+                target = Path(tmp) / f"{name}.bt"
+                write_trace(trace, target)
+                total += len(load_binary(target)) + len(trace)
+        return total
+
+    wall, work = _best_of(repeat, roundtrip_all)
+    phases.append(_phase_record("trace_io", wall, work, "inst"))
 
     # End to end: the smoke-campaign cross product on shared traces.
     configs = standard_configs()

@@ -14,8 +14,18 @@ Campaigns (sharded + cached sweeps; see :mod:`repro.experiments`)::
 
     python -m repro campaign run --scale smoke --jobs 4     # full sweep
     python -m repro campaign run gzip mcf --seed 3 --jobs 2
+    python -m repro campaign run --benchmarks 'zoo.*'       # filter by glob
+    python -m repro campaign run gzip --source trace:g.bt   # mix in a file
     python -m repro campaign status                         # cache coverage
     python -m repro campaign report                         # render tables
+
+Traces (sources, formats, importers; see :mod:`repro.traces`)::
+
+    python -m repro trace record gzip -o gzip.bt            # v2 binary
+    python -m repro trace convert old.trace.gz new.bt       # v1 -> v2
+    python -m repro trace convert events.txt ext.bt         # import external
+    python -m repro trace info gzip.bt
+    python -m repro trace validate gzip.bt
 
 Micro-benchmarks (perf tracking + CI gating; see :mod:`repro.bench`)::
 
@@ -26,7 +36,9 @@ Micro-benchmarks (perf tracking + CI gating; see :mod:`repro.bench`)::
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.experiments import (
@@ -53,7 +65,7 @@ from repro.harness.figure4 import figure4_series
 from repro.harness.report import render_table
 from repro.harness.table5 import table5_row, table5_rows
 from repro.pipeline import MachineConfig, simulate
-from repro.workloads import PROFILES, generate_trace, profile, programs
+from repro.workloads import PROFILES, generate_trace, programs
 
 
 def _scale(args) -> ExperimentScale:
@@ -80,6 +92,8 @@ def _resolve_warmup(args) -> None:
 
 
 def cmd_list(args) -> int:
+    from repro.traces import list_sources
+
     rows = [
         [p.name, p.suite, f"{p.comm_pct:.1f}", f"{p.partial_pct:.1f}",
          f"{p.base_ipc:.2f}"]
@@ -89,6 +103,16 @@ def cmd_list(args) -> int:
         ["benchmark", "suite", "comm%", "partial%", "paper IPC"], rows,
         title="Available benchmark profiles (Table 5 of the paper)",
     ))
+    sources = list_sources()
+    if sources:
+        print()
+        print(render_table(
+            ["source", "description"],
+            [[name, source.describe()] for name, source in
+             sorted(sources.items())],
+            title="Registered trace sources (also campaign benchmarks; "
+                  "trace:<path> and extern:<path> address files directly)",
+        ))
     return 0
 
 
@@ -244,6 +268,182 @@ def cmd_bench_compare(args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# Traces
+# --------------------------------------------------------------------- #
+
+
+def _load_any_trace(path: str, source_format: str = "auto"):
+    """Load a native v1/v2 trace or import an external event trace."""
+    import gzip
+
+    from repro.isa.tracefile import (
+        TraceFormatError,
+        detect_version,
+        load_trace,
+    )
+    from repro.traces import import_synchrotrace
+
+    if source_format == "synchrotrace":
+        return import_synchrotrace(path)
+    try:
+        version = detect_version(path)
+    except TraceFormatError:
+        if source_format == "native":
+            raise
+        # Not a native container: treat as an external event trace.
+        return import_synchrotrace(path)
+    if version == 1 and source_format != "native":
+        # The gzip magic alone cannot distinguish a v1 trace from a
+        # gzip-compressed external event trace; v1 files always open
+        # with a JSON header line.
+        try:
+            with gzip.open(path, "rt", encoding="utf-8",
+                           errors="replace") as stream:
+                first = stream.readline()
+        except OSError as exc:
+            raise TraceFormatError(f"{path}: cannot read: {exc}") from exc
+        if not first.lstrip().startswith("{"):
+            return import_synchrotrace(path)
+    return load_trace(path)
+
+
+def _save_by_format(trace, path: str, version: int | None) -> int:
+    """Write *trace*; default version from the extension (.gz -> v1)."""
+    from repro.isa.tracefile import save_trace
+
+    if version is None:
+        version = 1 if str(path).endswith(".gz") else 2
+    save_trace(trace, path, version=version)
+    return version
+
+
+def cmd_trace_record(args) -> int:
+    from repro.isa.tracefile import TraceFormatError
+    from repro.traces import resolve_source
+
+    scale = ExperimentScale("record", args.instructions, 0)
+    try:
+        source = resolve_source(args.benchmark)
+        trace = source.trace(scale, args.seed)
+        output = args.output or f"{args.benchmark.replace(':', '_')}.bt"
+        version = _save_by_format(trace, output, args.format)
+    except (KeyError, FileNotFoundError, TraceFormatError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    size = Path(output).stat().st_size
+    print(
+        f"{args.benchmark}: {len(trace)} instructions -> {output} "
+        f"(v{version}, {size} bytes, {size / max(1, len(trace)):.2f} B/inst)"
+    )
+    return 0
+
+
+def cmd_trace_convert(args) -> int:
+    from repro.isa.tracefile import TraceFormatError
+
+    try:
+        trace = _load_any_trace(args.input, args.source_format)
+        version = _save_by_format(trace, args.output, args.format)
+    except (TraceFormatError, FileNotFoundError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    in_size = Path(args.input).stat().st_size
+    out_size = Path(args.output).stat().st_size
+    print(
+        f"{args.input} ({in_size} bytes) -> {args.output} "
+        f"(v{version}, {out_size} bytes): {len(trace)} instructions"
+    )
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    from repro.isa.trace import communication_stats
+    from repro.isa.tracefile import TraceFormatError, detect_version
+    from repro.traces import trace_info
+
+    rows = []
+    try:
+        try:
+            version = detect_version(args.path)
+        except TraceFormatError:
+            version = None  # external event trace
+        if version == 2:
+            info = trace_info(args.path)
+            rows.extend([
+                ["format", f"v2 binary ({info['blocks']} blocks of "
+                           f"{info['block_records']} records)"],
+                ["file bytes", str(info["file_bytes"])],
+                ["bytes/instruction", f"{info['bytes_per_instruction']:.2f}"],
+            ])
+        elif version == 1:
+            rows.append(["format", "v1 gzip-JSONL"])
+        else:
+            rows.append(["format", "external event trace (imported)"])
+        trace = _load_any_trace(args.path, args.source_format)
+    except (TraceFormatError, FileNotFoundError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    stats = communication_stats(trace)
+    rows.extend([
+        ["instructions", str(len(trace))],
+        ["loads", str(stats.loads)],
+        ["stores", str(stats.stores)],
+        ["branches", str(stats.branches)],
+        ["communicating loads", f"{stats.communicating_loads} "
+                                f"({stats.pct_communicating:.1f}%)"],
+        ["partial-word loads", f"{stats.partial_word_loads} "
+                               f"({stats.pct_partial_word:.1f}%)"],
+    ])
+    print(render_table(["field", "value"], rows, title=str(args.path)))
+    return 0
+
+
+def cmd_trace_validate(args) -> int:
+    from repro.isa.trace import DynInst, annotate_trace
+    from repro.isa.tracefile import TraceFormatError
+
+    try:
+        trace = _load_any_trace(args.path, args.source_format)
+    except (TraceFormatError, FileNotFoundError, OSError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    # Re-derive every annotation from the raw instruction stream and
+    # compare: catches stale or inconsistent annotations, not just
+    # container corruption.
+    rebuilt = [
+        DynInst(
+            seq=inst.seq, pc=inst.pc, op=inst.op, srcs=inst.srcs,
+            dst=inst.dst, lat=inst.lat, addr=inst.addr, size=inst.size,
+            signed=inst.signed, fp_convert=inst.fp_convert,
+            taken=inst.taken, target=inst.target, is_call=inst.is_call,
+            is_return=inst.is_return,
+        )
+        for inst in trace
+    ]
+    annotate_trace(rebuilt)
+    fields = ("store_seq", "src_stores", "containing_store", "dist_insns",
+              "unique_stores", "path_hist")
+    bad = 0
+    for original, fresh in zip(trace, rebuilt):
+        for name in fields:
+            if getattr(original, name) != getattr(fresh, name):
+                if bad == 0:
+                    print(
+                        f"INVALID: instruction {original.seq}: {name} is "
+                        f"{getattr(original, name)!r}, re-annotation gives "
+                        f"{getattr(fresh, name)!r}", file=sys.stderr,
+                    )
+                bad += 1
+    if bad:
+        print(f"INVALID: {bad} stale annotation field(s) in "
+              f"{len(trace)} instructions", file=sys.stderr)
+        return 1
+    print(f"OK: {args.path}: {len(trace)} instructions, "
+          "annotations consistent")
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # Campaigns
 # --------------------------------------------------------------------- #
 
@@ -274,9 +474,38 @@ def _campaign_scale(args) -> ExperimentScale:
     return ExperimentScale("cli", args.instructions, warmup)
 
 
+def _campaign_benchmarks(args) -> list[str]:
+    """Positional ids, narrowed by ``--benchmarks`` globs, extended by
+    ``--source`` ids.  With a filter but no positionals, the filter
+    matches over every known id (profiles and registered sources)."""
+    from repro.traces import known_benchmark_ids
+
+    if args.benchmarks:
+        selected = list(args.benchmarks)
+    elif args.benchmark_filter:
+        selected = list(known_benchmark_ids())
+    else:
+        selected = list(PROFILES)
+    if args.benchmark_filter:
+        patterns = [p for p in args.benchmark_filter.split(",") if p]
+        selected = [
+            benchmark for benchmark in selected
+            if any(fnmatch.fnmatchcase(benchmark, p) for p in patterns)
+        ]
+        if not selected:
+            raise ValueError(
+                f"--benchmarks {args.benchmark_filter!r} matches no "
+                "benchmark or trace source"
+            )
+    for source in args.sources or ():
+        if source not in selected:
+            selected.append(source)
+    return selected
+
+
 def _campaign_spec(args) -> CampaignSpec:
     return CampaignSpec(
-        benchmarks=args.benchmarks or list(PROFILES),
+        benchmarks=_campaign_benchmarks(args),
         configs=_CONFIG_SETS[args.configs](args.window),
         scale=_campaign_scale(args),
         seeds=(args.seed,),
@@ -289,7 +518,21 @@ def _add_campaign_spec_args(parser: argparse.ArgumentParser) -> None:
     # message) and nargs="*" + choices rejects an empty selection.
     parser.add_argument(
         "benchmarks", nargs="*", metavar="benchmark",
-        help="benchmarks to sweep (default: all)",
+        help="benchmark ids to sweep: profiles, zoo.* families, "
+             "trace:<path> or extern:<path> (default: all profiles)",
+    )
+    parser.add_argument(
+        "--benchmarks", dest="benchmark_filter", default=None,
+        metavar="GLOBS",
+        help="comma-separated fnmatch globs narrowing the sweep "
+             "(e.g. 'mesa.*' or 'zoo.*,gzip'); without positional ids the "
+             "globs match over all profiles and registered sources",
+    )
+    parser.add_argument(
+        "--source", dest="sources", action="append", default=None,
+        metavar="ID",
+        help="add a trace source to the sweep (repeatable): a registered "
+             "name, trace:<path> or extern:<path>",
     )
     parser.add_argument(
         "--scale", choices=sorted(_NAMED_SCALES), default="smoke",
@@ -405,9 +648,14 @@ def cmd_campaign_report(args) -> int:
         results = {b: results[b] for b in args.benchmarks}
 
     # Render each table/figure over the benchmarks whose stored configs
-    # support it (stores may mix config sets across campaigns).
+    # support it (stores may mix config sets across campaigns).  The
+    # paper tables only make sense for calibrated profiles; trace-source
+    # benchmarks (zoo.*, trace:/extern: files) get the generic table.
     def having(required: set[str]) -> list[str]:
-        return [n for n, r in results.items() if required <= set(r.runs)]
+        return [
+            n for n, r in results.items()
+            if n in PROFILES and required <= set(r.runs)
+        ]
 
     rendered = False
     table5_names = having({"nosq-nodelay", "nosq-delay"})
@@ -425,10 +673,12 @@ def cmd_campaign_report(args) -> int:
     if figure4_names:
         print(render_figure4(figure4_series(figure4_names, results=results)))
         rendered = True
-    if not rendered:
+    generic = [name for name in results if name not in PROFILES]
+    if generic or not rendered:
+        names = generic if rendered else list(results)
         rows = [
             [name, config, f"{results[name].runs[config].ipc:.3f}"]
-            for name in results
+            for name in names
             for config in sorted(results[name].runs)
         ]
         print(render_table(
@@ -472,6 +722,75 @@ def build_parser() -> argparse.ArgumentParser:
     program = sub.add_parser("program", help="run a mini-ISA example program")
     program.add_argument("name")
     program.set_defaults(func=cmd_program)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record, convert, inspect and validate trace files "
+             "(repro.traces)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_record = trace_sub.add_parser(
+        "record", help="generate a benchmark/source trace and save it"
+    )
+    trace_record.add_argument(
+        "benchmark",
+        help="benchmark id: a profile, zoo.* family or registered source",
+    )
+    trace_record.add_argument(
+        "-n", "--instructions", type=int, default=30_000,
+        help="trace length (default 30000; file sources keep their own)",
+    )
+    trace_record.add_argument("--seed", type=int, default=17)
+    trace_record.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default <benchmark>.bt)",
+    )
+    trace_record.add_argument(
+        "--format", type=int, choices=(1, 2), default=None,
+        help="trace format version (default: 1 for *.gz, else 2)",
+    )
+    trace_record.set_defaults(func=cmd_trace_record)
+
+    trace_convert = trace_sub.add_parser(
+        "convert",
+        help="convert between v1/v2 or import an external event trace",
+    )
+    trace_convert.add_argument("input")
+    trace_convert.add_argument("output")
+    trace_convert.add_argument(
+        "--from", dest="source_format",
+        choices=("auto", "native", "synchrotrace"), default="auto",
+        help="input format (default auto: sniff native v1/v2, otherwise "
+             "import as a SynchroTrace-style event trace)",
+    )
+    trace_convert.add_argument(
+        "--format", type=int, choices=(1, 2), default=None,
+        help="output format version (default: 1 for *.gz, else 2)",
+    )
+    trace_convert.set_defaults(func=cmd_trace_convert)
+
+    trace_info_cmd = trace_sub.add_parser(
+        "info", help="show a trace file's layout and statistics"
+    )
+    trace_info_cmd.add_argument("path")
+    trace_info_cmd.add_argument(
+        "--from", dest="source_format",
+        choices=("auto", "native", "synchrotrace"), default="auto",
+    )
+    trace_info_cmd.set_defaults(func=cmd_trace_info)
+
+    trace_validate = trace_sub.add_parser(
+        "validate",
+        help="load a trace and re-derive every annotation; nonzero exit "
+             "on corruption or stale annotations",
+    )
+    trace_validate.add_argument("path")
+    trace_validate.add_argument(
+        "--from", dest="source_format",
+        choices=("auto", "native", "synchrotrace"), default="auto",
+    )
+    trace_validate.set_defaults(func=cmd_trace_validate)
 
     bench = sub.add_parser(
         "bench",

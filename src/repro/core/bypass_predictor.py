@@ -27,7 +27,7 @@ patterns), and incremented on every other commit of the load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Distance value meaning "predicted non-bypassing".
 NO_BYPASS = 0

@@ -43,7 +43,14 @@ result**, and nothing else:
   dataclasses (backend, bypass predictor, hierarchy) included — the
   config *name* participates only as an ordinary field, it is not
   special-cased;
-* the benchmark profile name and the seed;
+* the benchmark id and the seed;
+* for trace-source benchmarks (``zoo.*`` families, ``trace:``/
+  ``extern:`` files, registered sources), the source's *content id*
+  (:func:`repro.traces.source_identity`): a sha256 of the file bytes or
+  a generator code version — so swapping the bytes behind a path, or
+  bumping ``ZOO_VERSION``, misses instead of serving stale results;
+  synthetic profiles contribute nothing extra, keeping their historical
+  keys byte-stable;
 * the scale's behavioural numbers ``num_instructions`` and ``warmup``
   (the scale's *label* — smoke/default/full — is cosmetic and excluded,
   so ``-n 8000 -w 3000`` and ``--scale smoke`` share entries);

@@ -35,7 +35,16 @@ DEFAULT_CACHE_DIR = Path("results") / "cache"
 
 
 def job_key(job: Job) -> str:
-    """Content hash addressing *job*'s result on disk."""
+    """Content hash addressing *job*'s result on disk.
+
+    For trace-source benchmarks (``zoo.*``, ``trace:``/``extern:`` files,
+    registered sources) the source's content id — a file hash or a
+    generator version — joins the payload, so swapping the bytes behind a
+    path can never be served a stale result.  Synthetic profiles
+    contribute nothing extra, keeping their historical keys byte-stable.
+    """
+    from repro.traces import source_identity
+
     payload = {
         "schema": CACHE_SCHEMA,
         "version": repro.__version__,
@@ -45,6 +54,9 @@ def job_key(job: Job) -> str:
         "warmup": job.scale.warmup,
         "seed": job.seed,
     }
+    source = source_identity(job.benchmark)
+    if source is not None:
+        payload["source"] = source
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
     return digest.hexdigest()
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 import repro
 from repro.experiments.cache import CACHE_SCHEMA, ResultCache, job_key
@@ -62,13 +62,21 @@ ProgressFn = Callable[[ProgressEvent], None]
 
 @dataclass(frozen=True)
 class JobGroup:
-    """One benchmark's uncached configs at one seed (shares one trace)."""
+    """One benchmark's uncached configs at one seed (shares one trace).
+
+    ``source`` is the benchmark's resolved
+    :class:`~repro.traces.TraceSource`, captured in the parent process so
+    worker processes never depend on per-process registry state
+    (user-registered sources would otherwise resolve here but KeyError
+    in a spawn-started worker).
+    """
 
     benchmark: str
     scale: ExperimentScale
     seed: int
     configs: tuple[MachineConfig, ...]
     keys: tuple[str, ...]
+    source: Any = None
 
 
 @dataclass
@@ -121,7 +129,10 @@ def _make_record(
 def _iter_group_records(group: JobGroup):
     """Run a group's jobs on one shared trace, yielding ``(key, record)``
     as each finishes (so inline callers can persist per job)."""
-    trace = make_trace(group.benchmark, group.scale, group.seed)
+    if group.source is not None:
+        trace = group.source.trace(group.scale, group.seed)
+    else:
+        trace = make_trace(group.benchmark, group.scale, group.seed)
     trace_stats = communication_stats(trace)
     for config, key in zip(group.configs, group.keys):
         job = Job(group.benchmark, config, group.scale, group.seed)
@@ -153,6 +164,10 @@ def plan_campaign(
             hits.append((job, key, record))
         else:
             pending.setdefault(job.group_id, []).append((job, key))
+    # Resolve sources here, in the parent: groups ship the source object
+    # to workers, so registry state never has to survive a spawn.
+    from repro.traces import resolve_source
+
     groups = [
         JobGroup(
             benchmark=benchmark,
@@ -160,6 +175,7 @@ def plan_campaign(
             seed=seed,
             configs=tuple(job.config for job, _ in items),
             keys=tuple(key for _, key in items),
+            source=resolve_source(benchmark),
         )
         for (benchmark, seed), items in pending.items()
     ]

@@ -19,7 +19,12 @@ from repro.workloads.profiles import PROFILES
 
 @dataclass(frozen=True)
 class Job:
-    """One independent simulation: a benchmark on a config at a seed."""
+    """One independent simulation: a benchmark on a config at a seed.
+
+    ``benchmark`` is any id the trace-source layer resolves
+    (:func:`repro.traces.resolve_source`): a synthetic profile name, a
+    registered source such as a ``zoo.*`` family, or a self-describing
+    ``trace:<path>``/``extern:<path>`` id."""
 
     benchmark: str
     config: MachineConfig
@@ -56,7 +61,20 @@ class CampaignSpec:
         self.benchmarks = list(self.benchmarks)
         self.configs = list(self.configs)
         self.seeds = list(self.seeds)
-        unknown = [b for b in self.benchmarks if b not in PROFILES]
+        # Validate through the trace-source layer: every benchmark id
+        # must resolve (profiles, registered sources, trace:/extern: paths).
+        from repro.traces import resolve_source
+
+        unknown = []
+        for benchmark in self.benchmarks:
+            if benchmark in PROFILES:
+                continue
+            try:
+                resolve_source(benchmark)
+            except KeyError:
+                unknown.append(benchmark)
+            except FileNotFoundError as exc:
+                raise ValueError(str(exc)) from None
         if unknown:
             raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
         if len(set(self.benchmarks)) != len(self.benchmarks):

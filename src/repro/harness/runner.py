@@ -16,8 +16,6 @@ from repro.isa.trace import DynInst, TraceStats, communication_stats
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import Processor
 from repro.pipeline.stats import RunStats
-from repro.workloads.generator import SyntheticWorkload
-from repro.workloads.profiles import profile
 
 
 @dataclass(frozen=True)
@@ -82,9 +80,18 @@ def amean(values: Iterable[float]) -> float:
 
 
 def make_trace(name: str, scale: ExperimentScale, seed: int = 17) -> list[DynInst]:
-    """Generate the annotated trace for *name* at *scale*."""
-    workload = SyntheticWorkload(profile(name), seed=seed)
-    return workload.generate(scale.num_instructions)
+    """Produce the annotated trace for benchmark id *name* at *scale*.
+
+    *name* resolves through the trace-source layer
+    (:func:`repro.traces.resolve_source`): synthetic profiles take the
+    historical generator path bit-identically, while ``zoo.*`` families,
+    ``trace:<path>`` files and ``extern:<path>`` imports load through
+    their sources.
+    """
+    # Imported lazily: repro.traces builds on this module's scales.
+    from repro.traces import resolve_source
+
+    return resolve_source(name).trace(scale, seed)
 
 
 def run_benchmark(

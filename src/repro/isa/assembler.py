@@ -22,7 +22,6 @@ import re
 from repro.isa.instructions import Instruction, Register
 from repro.isa.opcodes import (
     BRANCH_OPS,
-    CALL_OPS,
     LOAD_OPS,
     Opcode,
     STORE_OPS,

@@ -1,16 +1,25 @@
 """Trace serialization: save and reload annotated dynamic traces.
 
-Traces are written as gzip-compressed JSON lines, one instruction per line.
-Saving the generated (or functionally executed) trace makes an experiment
-bit-reproducible and lets expensive workloads be shared between runs and
-machines.
+Two on-disk formats share one loader:
 
-::
+* **v1** (this module): gzip-compressed JSON lines, one instruction per
+  line — simple, diffable, and the historical interchange format;
+* **v2** (:mod:`repro.traces.binformat`): struct-packed records in
+  zlib-framed blocks with an index footer — several times smaller and
+  faster to parse, for the long traces the "full" scale needs.
+
+:func:`load_trace` sniffs the leading magic bytes and dispatches, so
+callers never care which format a file uses::
 
     from repro.isa.tracefile import save_trace, load_trace
 
-    save_trace(trace, "gzip-60k.trace.gz")
-    trace = load_trace("gzip-60k.trace.gz")
+    save_trace(trace, "gzip-60k.trace.gz")             # v1
+    save_trace(trace, "gzip-60k.bt", version=2)        # v2 binary
+    trace = load_trace("gzip-60k.bt")                  # auto-detected
+
+Saving the generated (or functionally executed) trace makes an experiment
+bit-reproducible and lets expensive workloads be shared between runs and
+machines.
 """
 
 from __future__ import annotations
@@ -18,13 +27,16 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.isa.opcodes import OpClass
 from repro.isa.trace import MEMORY_SOURCE, DynInst
 
-#: Format version written into the header line.
+#: Format version written into the v1 header line.
 FORMAT_VERSION = 1
+
+#: The gzip magic that opens every v1 file.
+_GZIP_MAGIC = b"\x1f\x8b"
 
 #: DynInst fields serialized per instruction (annotations included, so a
 #: reloaded trace needs no re-annotation pass).
@@ -39,8 +51,17 @@ class TraceFormatError(ValueError):
     """Raised when a trace file is malformed or from an unknown version."""
 
 
-def save_trace(trace: Sequence[DynInst], path: str | Path) -> None:
-    """Write *trace* to *path* as gzip-compressed JSON lines."""
+def save_trace(
+    trace: Sequence[DynInst], path: str | Path, version: int = 1
+) -> None:
+    """Write *trace* to *path*; ``version`` selects v1 JSONL or v2 binary."""
+    if version == 2:
+        from repro.traces.binformat import write_trace
+
+        write_trace(trace, path)
+        return
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unknown trace format version {version}")
     path = Path(path)
     with gzip.open(path, "wt", encoding="utf-8") as stream:
         header = {"format": "repro-trace", "version": FORMAT_VERSION,
@@ -56,22 +77,53 @@ def save_trace(trace: Sequence[DynInst], path: str | Path) -> None:
             stream.write(json.dumps(record) + "\n")
 
 
-def load_trace(path: str | Path) -> list[DynInst]:
-    """Read a trace written by :func:`save_trace`."""
+def detect_version(path: str | Path) -> int:
+    """Sniff the on-disk format version of *path* from its magic bytes."""
+    from repro.traces.binformat import MAGIC
+
     path = Path(path)
+    try:
+        with open(path, "rb") as stream:
+            head = stream.read(max(len(MAGIC), len(_GZIP_MAGIC)))
+    except OSError as exc:
+        raise TraceFormatError(f"{path}: cannot open: {exc}") from exc
+    if head.startswith(MAGIC):
+        return 2
+    if head.startswith(_GZIP_MAGIC):
+        return FORMAT_VERSION
+    raise TraceFormatError(
+        f"{path}: not a repro trace file (neither v1 gzip-JSONL nor "
+        "v2 binary magic)"
+    )
+
+
+def load_trace(path: str | Path) -> list[DynInst]:
+    """Read a trace written by :func:`save_trace`, either format.
+
+    v1 files are decoded streaming, line by line; a corrupt line raises
+    :class:`TraceFormatError` naming the offending line number.
+    """
+    path = Path(path)
+    if detect_version(path) == 2:
+        from repro.traces.binformat import load_trace as load_binary
+
+        return load_binary(path)
+    trace: list[DynInst] = []
     with gzip.open(path, "rt", encoding="utf-8") as stream:
         header_line = stream.readline()
         try:
             header = json.loads(header_line)
         except json.JSONDecodeError as exc:
             raise TraceFormatError(f"{path}: bad header") from exc
-        if header.get("format") != "repro-trace":
+        if not isinstance(header, dict) or header.get("format") != "repro-trace":
             raise TraceFormatError(f"{path}: not a repro trace file")
         if header.get("version") != FORMAT_VERSION:
             raise TraceFormatError(
                 f"{path}: unsupported version {header.get('version')}"
             )
-        trace = [_decode(line, path) for line in stream if line.strip()]
+        for lineno, line in enumerate(stream, start=2):
+            if line.strip():
+                trace.append(_decode(line, path, lineno))
     # Derived annotation (not serialized): recompute so reloaded traces
     # match annotate_trace output exactly.
     from repro.frontend.path_history import fill_path_history
@@ -85,9 +137,14 @@ def load_trace(path: str | Path) -> list[DynInst]:
     return trace
 
 
-def _decode(line: str, path: Path) -> DynInst:
+def _decode(line: str, path: Path, lineno: int) -> DynInst:
     try:
         record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"{path}: line {lineno}: corrupt record: {exc}"
+        ) from exc
+    try:
         inst = DynInst(
             seq=record["seq"],
             pc=record["pc"],
@@ -115,4 +172,6 @@ def _decode(line: str, path: Path) -> DynInst:
         )
         return inst
     except (KeyError, ValueError, TypeError) as exc:
-        raise TraceFormatError(f"{path}: malformed record: {exc}") from exc
+        raise TraceFormatError(
+            f"{path}: line {lineno}: malformed record: {exc}"
+        ) from exc

@@ -62,7 +62,7 @@ def build_trace(program: ExampleProgram) -> ExecutionResult:
 
 def memcpy_program(length: int = 256) -> ExampleProgram:
     """Byte-wise memcpy: loads never communicate with in-window stores."""
-    source = f"""
+    source = """
         ; r2 = src, r3 = dst, r4 = end of src
         add  r10, r2, r0
         add  r11, r3, r0
@@ -90,7 +90,7 @@ def stack_spill_program(calls: int = 64) -> ExampleProgram:
     The spill stores and reload loads communicate at distance 1-2 -- the
     canonical bypassing pattern NoSQ short-circuits through rename.
     """
-    source = f"""
+    source = """
         ; r2 = stack pointer, r4 = remaining calls
         add  r20, r0, r0          ; accumulator
     loop:
@@ -121,7 +121,7 @@ def stack_spill_program(calls: int = 64) -> ExampleProgram:
 def struct_pack_program(records: int = 64) -> ExampleProgram:
     """Writes a record as byte/halfword/word fields, then reads the whole
     8-byte record back: partial-word and multi-source communication."""
-    source = f"""
+    source = """
         ; r2 = record cursor, r4 = remaining records
         add  r10, r0, r0
     loop:
@@ -151,7 +151,7 @@ def struct_pack_program(records: int = 64) -> ExampleProgram:
 def fp_convert_program(count: int = 64) -> ExampleProgram:
     """``sts``/``lds`` round trips: the single-precision conversion pair
     that partial-word bypassing must mimic (Section 3.5)."""
-    source = f"""
+    source = """
         ; r2 = buffer cursor, r4 = remaining iterations
         fcvt f2, r4               ; f2 = (double) r4
     loop:

@@ -99,6 +99,7 @@ class TestDeterministicPhaseLabels:
             "svw_ssbf_verify",
             "store_sets",
             "memory_hierarchy",
+            "trace_io",
         )
 
     def test_comparison_order_is_end_to_end_then_phases(self):

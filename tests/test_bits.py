@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.isa import bits

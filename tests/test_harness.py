@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.harness import (
-    SMOKE,
     ExperimentScale,
     figure2_series,
     figure3_series,

@@ -1,7 +1,7 @@
 """Tests for the memory substrate: sparse memory, caches, hierarchy, TLB."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.memory import Cache, HierarchyConfig, MemoryHierarchy, SparseMemory, TLB
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.isa.opcodes import OpClass
 from repro.ooo import (
-    ForwardResult,
     InFlightInst,
     IssueQueueTracker,
     LoadQueueTracker,

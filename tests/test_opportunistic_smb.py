@@ -1,8 +1,6 @@
 """Tests for the opportunistic-SMB design point (the paper's Table 1
 background design: SMB as a complement to store-queue forwarding)."""
 
-import pytest
-
 from repro.harness.runner import ExperimentScale, make_trace
 from repro.pipeline import MachineConfig, simulate
 from tests.conftest import build_trace, comm_loop_specs

@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.harness.runner import ExperimentScale, make_trace
 from repro.pipeline import MachineConfig, simulate
-from tests.conftest import build_trace, comm_loop_specs
+from tests.conftest import build_trace
 
 TINY = ExperimentScale("tiny", num_instructions=4_000, warmup=1_500)
 

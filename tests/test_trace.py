@@ -2,11 +2,8 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.isa.opcodes import OpClass
 from repro.isa.trace import (
-    DynInst,
     MEMORY_SOURCE,
-    annotate_trace,
     communication_stats,
 )
 from tests.conftest import build_trace
