@@ -1,49 +1,55 @@
 #!/usr/bin/env python3
 """Quickstart: simulate one benchmark on the conventional baseline and NoSQ.
 
-Generates a synthetic trace calibrated to the paper's ``gzip`` profile,
-runs it through four machine configurations, and prints the headline
-numbers: IPC, relative execution time, bypassing behaviour, and
-verification activity.
+Uses the public façade (:mod:`repro.api`): configurations are addressed
+by spec string — registry presets (``conventional``, ``nosq``, ...) with
+optional dotted-path overrides (``nosq?backend.rob_size=256``) — and
+``simulate()`` resolves the benchmark through the trace-source layer, so
+profiles, ``zoo.*`` families and ``trace:``/``extern:`` files all work.
 
 Run:  python examples/quickstart.py [benchmark] [instructions]
+      python examples/quickstart.py zoo.pchase 8000
 """
 
 import sys
 
-from repro import MachineConfig, generate_trace, simulate
+from repro.api import simulate
+
+#: Spec strings for the historical quickstart sweep; the first is the
+#: relative-time baseline.  Try adding "nosq?backend.rob_size=256".
+CONFIG_SPECS = [
+    "conventional-perfect",
+    "conventional",
+    "nosq-nodelay",
+    "nosq",
+]
+
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
     length = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
-    warmup = length // 2
 
-    print(f"benchmark={benchmark}, {length} instructions ({warmup} warmup)\n")
-    trace = generate_trace(benchmark, num_instructions=length)
+    results = {
+        spec: simulate(spec, benchmark, scale=length) for spec in CONFIG_SPECS
+    }
+    first = next(iter(results.values()))
+    print(f"benchmark={benchmark}, {first.scale.num_instructions} "
+          f"instructions ({first.scale.warmup} warmup)\n")
 
-    configs = [
-        MachineConfig.conventional(perfect_scheduling=True),
-        MachineConfig.conventional(),
-        MachineConfig.nosq(delay=False),
-        MachineConfig.nosq(delay=True),
-    ]
-    results = {}
-    for config in configs:
-        results[config.name] = simulate(config, trace, warmup=warmup)
-
-    baseline = results["sq-perfect"]
+    baseline = first.stats
     print(f"{'configuration':16s} {'IPC':>6s} {'rel.time':>9s} "
           f"{'bypassed':>9s} {'delayed':>8s} {'reexec':>7s} {'flushes':>8s}")
-    for name, stats in results.items():
+    for result in results.values():
+        stats = result.stats
         rel = stats.cycles / baseline.cycles
         print(
-            f"{name:16s} {stats.ipc:6.2f} {rel:9.3f} "
+            f"{result.config_name:16s} {stats.ipc:6.2f} {rel:9.3f} "
             f"{stats.pct_loads_bypassed:8.1f}% {stats.pct_loads_delayed:7.1f}% "
             f"{stats.reexecuted_loads:7d} {stats.flushes:8d}"
         )
 
-    nosq = results["nosq-delay"]
-    sq = results["sq-storesets"]
+    nosq = results["nosq"].stats
+    sq = results["conventional"].stats
     speedup = 100.0 * (sq.cycles - nosq.cycles) / sq.cycles
     print(
         f"\nNoSQ (with delay) vs associative store queue: "

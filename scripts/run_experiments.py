@@ -30,6 +30,7 @@ import argparse
 import time
 from pathlib import Path
 
+from repro.api import standard_configs
 from repro.experiments import ResultCache
 from repro.harness import (
     DEFAULT,
@@ -46,7 +47,6 @@ from repro.harness import (
     render_figure5,
     render_table5,
     run_suite,
-    standard_configs,
 )
 from repro.harness.table5 import table5_row
 from repro.workloads.profiles import PROFILES, SELECTED_BENCHMARKS

@@ -2,7 +2,16 @@
 
 A cycle-level Python reproduction of Sha, Martin & Roth, MICRO-39 (2006).
 
-Quick start::
+Quick start (the public façade, :mod:`repro.api`)::
+
+    from repro.api import simulate, sweep
+
+    result = simulate("nosq", "gzip", scale="smoke")
+    custom = simulate("nosq?backend.rob_size=256", "zoo.pchase",
+                      scale="smoke")
+    print(result.ipc, custom.ipc)
+
+The low-level entry points remain::
 
     from repro import MachineConfig, generate_trace, simulate
 
@@ -10,6 +19,10 @@ Quick start::
     base = simulate(MachineConfig.conventional(), trace)
     nosq = simulate(MachineConfig.nosq(), trace)
     print(base.ipc, nosq.ipc)
+
+(Note there are two ``simulate`` functions: ``repro.simulate`` is the historical
+``(config, trace) -> RunStats`` wrapper; ``repro.api.simulate`` is the
+typed ``(config_spec, source, scale) -> SimResult`` façade.)
 
 Package map:
 
@@ -23,6 +36,9 @@ Package map:
 * :mod:`repro.workloads` -- benchmark profiles, generator, programs
 * :mod:`repro.harness` -- Table 5 / Figures 2-5 regeneration
 * :mod:`repro.experiments` -- sharded, cached, resumable campaign engine
+* :mod:`repro.traces` -- pluggable trace sources (benchmark-id registry)
+* :mod:`repro.api` -- the public façade: string-addressable configs,
+  component registry, typed ``simulate``/``sweep`` entry points
 """
 
 from repro.pipeline import MachineConfig, Processor, RunStats, simulate

@@ -1,0 +1,275 @@
+"""Pluggable component registry: swappable simulator building blocks.
+
+The cycle loop builds three components whose implementation is worth
+swapping without editing :mod:`repro.pipeline.processor`:
+
+===================  ====================================================
+kind                 default implementation
+===================  ====================================================
+``bypass_predictor``  :class:`repro.core.bypass_predictor.BypassingPredictor`
+``scheduler``         :class:`repro.predictors.store_sets.StoreSets`
+                      (load scheduling on the conventional baseline)
+``hierarchy``         :class:`repro.memory.hierarchy.MemoryHierarchy`
+===================  ====================================================
+
+A *factory* is any callable ``factory(config: MachineConfig) -> object``
+returning a duck-typed replacement for the default class.  Register one
+under a name and select it per machine with the matching
+``MachineConfig`` field (``bypass_predictor_impl``/``scheduler_impl``/
+``hierarchy_impl``) — or, equivalently, a config override string::
+
+    from repro.api import register_bypass_predictor, simulate
+
+    register_bypass_predictor(
+        "sticky", lambda cfg: BypassingPredictor(
+            dataclasses.replace(cfg.bypass_predictor, conf_dec=127)
+        ),
+        description="full confidence reset on misprediction",
+    )
+    simulate("nosq?bypass.impl=sticky", "gzip", scale="smoke")
+
+The selector value joins the serialized config, so campaign cache keys
+distinguish component choices; the ``"default"`` value is omitted from
+serialization to keep historical cache keys byte-stable.
+
+This module is intentionally dependency-free (the processor imports it
+lazily), so registering components never drags in the simulator.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # circular at runtime: pipeline builds on this registry
+    from repro.pipeline.config import MachineConfig
+
+ComponentFactory = Callable[["MachineConfig"], Any]
+
+#: Reserved selector value meaning "the built-in implementation".
+DEFAULT_IMPL = "default"
+
+#: Component kind -> the MachineConfig selector field.  The single
+#: source of truth consumed by the codec (which omits default-valued
+#: selectors from serialization), the override grammar, and the campaign
+#: scheduler (which keeps registry-selecting configs out of worker
+#: pools); add new kinds here and everything stays in sync.
+IMPL_FIELDS: dict[str, str] = {
+    "bypass_predictor": "bypass_predictor_impl",
+    "scheduler": "scheduler_impl",
+    "hierarchy": "hierarchy_impl",
+}
+
+#: Component kind -> description of the built-in implementation.
+KINDS: dict[str, str] = {
+    "bypass_predictor": "hybrid path-sensitive bypassing predictor "
+                        "(core.bypass_predictor.BypassingPredictor)",
+    "scheduler": "StoreSets load scheduling on the conventional baseline "
+                 "(predictors.store_sets.StoreSets)",
+    "hierarchy": "two-level cache hierarchy + memory "
+                 "(memory.hierarchy.MemoryHierarchy)",
+}
+
+
+class ComponentError(ValueError):
+    """Unknown component kind/name, or a registration conflict."""
+
+
+@dataclass(frozen=True)
+class Component:
+    """One registered implementation of one component kind.
+
+    ``version`` joins campaign cache keys for configs selecting this
+    component (mirroring trace-source content ids): bump it whenever the
+    factory's behaviour changes, or previously cached results will be
+    served for the old implementation."""
+
+    kind: str
+    name: str
+    factory: ComponentFactory
+    description: str = ""
+    version: int = 0
+
+
+_REGISTRY: dict[str, dict[str, Component]] = {kind: {} for kind in KINDS}
+
+
+def _check_kind(kind: str) -> None:
+    if kind not in _REGISTRY:
+        raise ComponentError(
+            f"unknown component kind {kind!r}; kinds: {sorted(_REGISTRY)}"
+        )
+
+
+def register_component(
+    kind: str,
+    name: str,
+    factory: ComponentFactory,
+    description: str = "",
+    replace: bool = False,
+    version: int = 0,
+) -> Component:
+    """Register *factory* as implementation *name* of *kind*.
+
+    Bump *version* whenever the factory's behaviour changes so campaign
+    cache entries keyed on the old behaviour miss instead of being
+    served stale (see :func:`component_identity`)."""
+    _check_kind(kind)
+    if not name or name == DEFAULT_IMPL:
+        raise ComponentError(
+            f"component name must be non-empty and not {DEFAULT_IMPL!r}"
+        )
+    if not replace and name in _REGISTRY[kind]:
+        raise ComponentError(f"{kind} component {name!r} already registered")
+    component = Component(kind, name, factory, description, version)
+    _REGISTRY[kind][name] = component
+    return component
+
+
+def register_bypass_predictor(
+    name: str, factory: ComponentFactory, description: str = "",
+    replace: bool = False, version: int = 0,
+) -> Component:
+    """Register a bypassing-predictor replacement (NoSQ's Section 3.3 box).
+
+    The factory receives the full :class:`MachineConfig` and must return
+    an object with :class:`BypassingPredictor`'s interface (``predict``/
+    ``train``).  Select it with ``bypass_predictor_impl=<name>`` (override
+    alias ``bypass.impl``)."""
+    return register_component("bypass_predictor", name, factory,
+                              description, replace, version)
+
+
+def register_scheduler(
+    name: str, factory: ComponentFactory, description: str = "",
+    replace: bool = False, version: int = 0,
+) -> Component:
+    """Register a load-scheduler replacement for the conventional baseline
+    (:class:`StoreSets`'s interface).  Select with ``scheduler_impl=<name>``
+    (override alias ``scheduler.impl``)."""
+    return register_component("scheduler", name, factory, description,
+                              replace, version)
+
+
+def register_memory_hierarchy(
+    name: str, factory: ComponentFactory, description: str = "",
+    replace: bool = False, version: int = 0,
+) -> Component:
+    """Register a memory-hierarchy replacement
+    (:class:`MemoryHierarchy`'s ``read``/``write`` interface).  Select with
+    ``hierarchy_impl=<name>`` (override aliases ``hierarchy.impl``/
+    ``memory.impl``)."""
+    return register_component("hierarchy", name, factory, description,
+                              replace, version)
+
+
+def unregister_component(kind: str, name: str) -> None:
+    _check_kind(kind)
+    _REGISTRY[kind].pop(name, None)
+
+
+def component_names(kind: str) -> list[str]:
+    """Registered implementation names for *kind* (``default`` excluded)."""
+    _check_kind(kind)
+    return sorted(_REGISTRY[kind])
+
+
+def list_components() -> dict[str, dict[str, str]]:
+    """``{kind: {name: description}}`` including the built-in defaults."""
+    listing: dict[str, dict[str, str]] = {}
+    for kind, builtin in KINDS.items():
+        listing[kind] = {DEFAULT_IMPL: builtin}
+        for name, component in sorted(_REGISTRY[kind].items()):
+            listing[kind][name] = component.description or "(no description)"
+    return listing
+
+
+def selected_components(config: "MachineConfig") -> dict[str, str]:
+    """*config*'s non-default component selections (kind -> impl name)."""
+    return {
+        kind: getattr(config, field)
+        for kind, field in IMPL_FIELDS.items()
+        if getattr(config, field, DEFAULT_IMPL) != DEFAULT_IMPL
+    }
+
+
+#: Component kind -> prose describing when the pipeline builds it, for
+#: the shared "has no effect" diagnostics.
+IMPL_CONTEXTS: dict[str, str] = {
+    "hierarchy": "a memory hierarchy",
+    "scheduler": "a load scheduler (conventional mode with storesets "
+                 "scheduling only)",
+    "bypass_predictor": "a bypassing predictor (NoSQ with real "
+                        "bypassing, or opportunistic SMB, only)",
+}
+
+
+def inapplicable_message(kind: str, name: str,
+                         config: "MachineConfig") -> str:
+    """The shared diagnostic for a selector the config never uses
+    (raised by spec resolution and by ``Processor.__init__``)."""
+    return (
+        f"{kind}.impl={name!r} has no effect: config {config.name!r} "
+        f"never builds {IMPL_CONTEXTS[kind]}"
+    )
+
+
+def component_identity(kind: str, name: str) -> str | None:
+    """The cache-key contribution of a selected component, if registered.
+
+    ``<name>:v<version>`` — the campaign cache folds this into job keys
+    for configs selecting *name*, so bumping a component's registration
+    version invalidates its cached results (unregistered names
+    contribute nothing beyond the name already in the config)."""
+    _check_kind(kind)
+    component = _REGISTRY[kind].get(name)
+    if component is None:
+        return None
+    return f"{component.name}:v{component.version}"
+
+
+def component_applicable(kind: str, config: "MachineConfig") -> bool:
+    """Whether *config*'s pipeline ever instantiates component *kind*.
+
+    Delegates to the build-gate predicates next to ``MachineConfig``
+    (:func:`repro.pipeline.config.uses_load_scheduler` /
+    :func:`~repro.pipeline.config.uses_bypass_predictor`) — the same
+    functions ``Processor.__init__`` constructs from, so spec-time
+    validation can never drift from construction-time behavior."""
+    from repro.pipeline.config import (
+        uses_bypass_predictor,
+        uses_load_scheduler,
+    )
+
+    _check_kind(kind)
+    if kind == "hierarchy":
+        return True
+    if kind == "scheduler":
+        return uses_load_scheduler(config)
+    return uses_bypass_predictor(config)
+
+
+def validate_component(kind: str, name: str) -> None:
+    """Raise :class:`ComponentError` (with a suggestion) for unknown names."""
+    _check_kind(kind)
+    if name == DEFAULT_IMPL or name in _REGISTRY[kind]:
+        return
+    known = [DEFAULT_IMPL, *_REGISTRY[kind]]
+    guess = difflib.get_close_matches(name, known, n=1)
+    hint = f"; did you mean {guess[0]!r}?" if guess else ""
+    raise ComponentError(
+        f"no registered {kind} component {name!r} "
+        f"(known: {', '.join(sorted(known))}){hint}"
+    )
+
+
+def create_component(kind: str, name: str, config: "MachineConfig") -> Any:
+    """Instantiate implementation *name* of *kind* for *config*."""
+    validate_component(kind, name)
+    if name == DEFAULT_IMPL:
+        raise ComponentError(
+            f"create_component({kind!r}, 'default'): the processor builds "
+            "default implementations directly"
+        )
+    return _REGISTRY[kind][name].factory(config)

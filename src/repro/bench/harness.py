@@ -28,18 +28,17 @@ from typing import Any, Callable, Sequence
 from repro.core.ssbf import TaggedSSBF
 from repro.core.svw import SVWFilter
 from repro.harness.report import render_table
+from repro.api.configs import resolve_config, standard_configs
 from repro.harness.runner import (
     DEFAULT,
     FULL,
     SMOKE,
     ExperimentScale,
     make_trace,
-    standard_configs,
 )
 from repro.isa.opcodes import OpClass
 from repro.isa.trace import DynInst, annotate_trace
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import Processor
 from repro.predictors.store_sets import StoreSets
 
@@ -149,7 +148,7 @@ def _dispatch_issue_trace(num: int) -> list[DynInst]:
 
 def _bench_dispatch_issue(iterations: int) -> int:
     trace = _dispatch_issue_trace(iterations)
-    Processor(MachineConfig.conventional()).run(trace)
+    Processor(resolve_config("conventional")).run(trace)
     return iterations
 
 

@@ -1,14 +1,24 @@
 """Command-line interface.
 
+Installed as the ``repro`` console script (``pip install -e .``);
+``python -m repro`` works without installing.
+
 ::
 
-    python -m repro run gzip                       # one benchmark, 4 configs
-    python -m repro run gzip -n 60000 --seed 3
-    python -m repro compare gzip vortex applu      # several benchmarks
-    python -m repro table5 gzip mesa.o             # Table 5 rows
-    python -m repro figure2 gzip applu             # Figure 2 bars
-    python -m repro list                           # available benchmarks
-    python -m repro program stack_spill            # run a mini-ISA program
+    repro run gzip                            # one benchmark, 4 configs
+    repro run nosq gzip --scale smoke         # one config spec, one benchmark
+    repro run 'nosq?backend.rob_size=256' zoo.pchase --scale smoke
+    repro run nosq@256 conventional@256 gzip  # several configs, one table
+    repro compare gzip vortex applu           # several benchmarks
+    repro table5 gzip mesa.o                  # Table 5 rows
+    repro figure2 gzip applu                  # Figure 2 bars
+    repro list                                # benchmarks, configs, sources
+    repro program stack_spill                 # run a mini-ISA program
+
+``run`` positionals mix freely: anything that resolves as a benchmark id
+(profiles, ``zoo.*`` families, ``trace:``/``extern:`` paths) is a
+workload, everything else must parse as a config spec
+(``preset[@window][?key=value,...]``; see :mod:`repro.api.configs`).
 
 Campaigns (sharded + cached sweeps; see :mod:`repro.experiments`)::
 
@@ -16,6 +26,8 @@ Campaigns (sharded + cached sweeps; see :mod:`repro.experiments`)::
     python -m repro campaign run gzip mcf --seed 3 --jobs 2
     python -m repro campaign run --benchmarks 'zoo.*'       # filter by glob
     python -m repro campaign run gzip --source trace:g.bt   # mix in a file
+    python -m repro campaign run --configs 'nosq*'          # config globs
+    python -m repro campaign run --configs 'nosq?rob_size=96,iq_size=30'
     python -m repro campaign status                         # cache coverage
     python -m repro campaign report                         # render tables
 
@@ -41,6 +53,16 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.api import (
+    NAMED_SCALES as _NAMED_SCALES,
+    ConfigSpecError,
+    effective_warmup,
+    list_components,
+    list_config_sets,
+    list_configs,
+    resolve_config,
+    resolve_configs,
+)
 from repro.experiments import (
     DEFAULT_CACHE_DIR,
     CampaignSpec,
@@ -51,20 +73,16 @@ from repro.experiments import (
     run_campaign,
 )
 from repro.harness import (
-    DEFAULT,
-    FULL,
-    SMOKE,
     ExperimentScale,
     render_figure2,
     render_figure4,
     render_table5,
-    standard_configs,
 )
 from repro.harness.figure2 import BARS, BASELINE, figure2_series
 from repro.harness.figure4 import figure4_series
 from repro.harness.report import render_table
 from repro.harness.table5 import table5_row, table5_rows
-from repro.pipeline import MachineConfig, simulate
+from repro.pipeline import simulate
 from repro.workloads import PROFILES, generate_trace, programs
 
 
@@ -113,40 +131,141 @@ def cmd_list(args) -> int:
             title="Registered trace sources (also campaign benchmarks; "
                   "trace:<path> and extern:<path> address files directly)",
         ))
+    print()
+    print(render_table(
+        ["preset", "config name", "description"],
+        [[name, preset.build().name, preset.description]
+         for name, preset in sorted(list_configs().items())],
+        title="Registered config presets (repro run / campaign --configs; "
+              "spec grammar: preset[@window][?key=value,...])",
+    ))
+    print()
+    print(render_table(
+        ["config set", "members"],
+        [[name, ", ".join(members)]
+         for name, members in sorted(list_config_sets().items())],
+        title="Registered config sets (expand inside --configs)",
+    ))
+    print()
+    print(render_table(
+        ["component kind", "impl", "description"],
+        [[kind, name, description]
+         for kind, impls in sorted(list_components().items())
+         for name, description in impls.items()],
+        title="Registered components (select with ?<kind>.impl=<name>; "
+              "see repro.api.components)",
+    ))
     return 0
 
 
+#: Configs a bare ``repro run <benchmark>`` sweeps (the historical four;
+#: the first is the relative-time baseline).
+_DEFAULT_RUN_CONFIGS = (
+    "conventional-perfect", "conventional", "nosq-nodelay", "nosq",
+)
+
+
+def _run_scale(args) -> ExperimentScale:
+    if args.instructions is not None:
+        warmup = (
+            args.warmup if args.warmup is not None
+            else args.instructions // 2
+        )
+        return ExperimentScale("cli", args.instructions, warmup)
+    if args.warmup is not None:
+        raise ValueError("-w/--warmup requires -n/--instructions")
+    if args.scale is not None:
+        return _NAMED_SCALES[args.scale]
+    return ExperimentScale("cli", 30_000, 15_000)
+
+
 def cmd_run(args) -> int:
-    _resolve_warmup(args)
-    trace = generate_trace(args.benchmark, args.instructions, seed=args.seed)
-    configs = [
-        MachineConfig.conventional(perfect_scheduling=True),
-        MachineConfig.conventional(),
-        MachineConfig.nosq(delay=False),
-        MachineConfig.nosq(),
-    ]
-    results = {
-        config.name: simulate(config, trace, warmup=args.warmup)
-        for config in configs
-    }
-    baseline = results["sq-perfect"]
-    rows = []
-    for name, stats in results.items():
-        rows.append([
-            name, f"{stats.ipc:.2f}",
-            f"{stats.cycles / baseline.cycles:.3f}",
-            f"{stats.pct_loads_bypassed:.1f}%",
-            f"{stats.pct_loads_delayed:.1f}%",
-            f"{stats.mispredicts_per_10k_loads:.1f}",
-            stats.reexecuted_loads, stats.flushes,
-        ])
-    print(render_table(
-        ["config", "IPC", "rel.time", "bypassed", "delayed",
-         "mispred/10k", "reexec", "flushes"],
-        rows,
-        title=f"{args.benchmark}: {args.instructions} instructions "
-              f"({args.warmup} warmup)",
-    ))
+    from repro.traces import resolve_source
+
+    configs, benchmarks = [], []
+    for spec in args.specs:
+        try:
+            resolve_source(spec)
+        except FileNotFoundError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        except KeyError as key_error:
+            if ":" in spec.split("?", 1)[0]:
+                # source:/trace:/extern:-shaped ids can never be config
+                # specs; the trace registry's message has the right
+                # suggestions.
+                print(key_error.args[0], file=sys.stderr)
+                return 2
+            try:
+                # resolve_configs, not resolve_config: run positionals
+                # accept everything campaign --configs does, including
+                # set names ('standard') and globs ('nosq*').
+                configs.extend(resolve_configs(spec))
+            except ConfigSpecError as exc:
+                print(
+                    f"{spec!r} is neither a benchmark id nor a config "
+                    f"spec: {exc}", file=sys.stderr,
+                )
+                return 2
+        else:
+            benchmarks.append(spec)
+    if not benchmarks:
+        print(
+            "no benchmark among the arguments; pass a profile, zoo.* "
+            "family, trace:<path> or extern:<path> id "
+            "(see `repro list`)", file=sys.stderr,
+        )
+        return 2
+    try:
+        scale = _run_scale(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not configs:
+        configs = resolve_configs(_DEFAULT_RUN_CONFIGS)
+    else:
+        # Aliases can resolve to the same machine (nosq == nosq-delay);
+        # keep the first of each name rather than simulating twice and
+        # silently overwriting the table row.
+        unique: dict[str, object] = {}
+        for config in configs:
+            unique.setdefault(config.name, config)
+        configs = list(unique.values())
+    from repro.isa.tracefile import TraceFormatError
+
+    for benchmark in benchmarks:
+        try:
+            trace = resolve_source(benchmark).trace(scale, args.seed)
+        except (TraceFormatError, OSError) as exc:
+            print(f"{benchmark}: {exc}", file=sys.stderr)
+            return 2
+        if args.warmup is None:
+            warmup = effective_warmup(scale, len(trace))
+        else:
+            warmup = scale.warmup
+        results = {
+            config.name: simulate(config, trace, warmup=warmup)
+            for config in configs
+        }
+        baseline = next(iter(results.values()))
+        rows = []
+        for name, stats in results.items():
+            rows.append([
+                name, f"{stats.ipc:.2f}",
+                f"{stats.cycles / baseline.cycles:.3f}",
+                f"{stats.pct_loads_bypassed:.1f}%",
+                f"{stats.pct_loads_delayed:.1f}%",
+                f"{stats.mispredicts_per_10k_loads:.1f}",
+                stats.reexecuted_loads, stats.flushes,
+            ])
+        print(render_table(
+            ["config", "IPC", "rel.time", "bypassed", "delayed",
+             "mispred/10k", "reexec", "flushes"],
+            rows,
+            title=f"{benchmark}: {len(trace)} instructions "
+                  f"({warmup} warmup; rel.time vs "
+                  f"{baseline.config_name})",
+        ))
     return 0
 
 
@@ -156,9 +275,9 @@ def cmd_compare(args) -> int:
     for name in args.benchmarks:
         trace = generate_trace(name, args.instructions, seed=args.seed)
         baseline = simulate(
-            MachineConfig.conventional(), trace, warmup=args.warmup
+            resolve_config("conventional"), trace, warmup=args.warmup
         )
-        nosq = simulate(MachineConfig.nosq(), trace, warmup=args.warmup)
+        nosq = simulate(resolve_config("nosq"), trace, warmup=args.warmup)
         rows.append([
             name, f"{baseline.ipc:.2f}", f"{nosq.ipc:.2f}",
             f"{nosq.cycles / baseline.cycles:.3f}",
@@ -201,7 +320,7 @@ def cmd_program(args) -> int:
     result = programs.build_trace(program)
     print(f"{program.name}: {program.description}")
     print(f"{len(result.trace)} dynamic instructions, halted={result.halted}")
-    for config in (MachineConfig.conventional(), MachineConfig.nosq()):
+    for config in resolve_configs("conventional,nosq"):
         stats = simulate(config, result.trace)
         print(
             f"  {config.name:14s} IPC {stats.ipc:.2f}  "
@@ -447,20 +566,6 @@ def cmd_trace_validate(args) -> int:
 # Campaigns
 # --------------------------------------------------------------------- #
 
-_NAMED_SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
-
-#: Named configuration sets a campaign can sweep.
-_CONFIG_SETS = {
-    "standard": lambda window: standard_configs(window),
-    "table5": lambda window: [
-        MachineConfig.nosq(window=window, delay=False),
-        MachineConfig.nosq(window=window, delay=True),
-    ],
-    "figure4": lambda window: [
-        MachineConfig.conventional(window=window),
-        MachineConfig.nosq(window=window, delay=True),
-    ],
-}
 
 
 def _campaign_scale(args) -> ExperimentScale:
@@ -506,7 +611,7 @@ def _campaign_benchmarks(args) -> list[str]:
 def _campaign_spec(args) -> CampaignSpec:
     return CampaignSpec(
         benchmarks=_campaign_benchmarks(args),
-        configs=_CONFIG_SETS[args.configs](args.window),
+        configs=resolve_configs(args.configs, window=args.window),
         scale=_campaign_scale(args),
         seeds=(args.seed,),
         name=args.configs,
@@ -552,8 +657,12 @@ def _add_campaign_spec_args(parser: argparse.ArgumentParser) -> None:
         help="machine window size (default 128)",
     )
     parser.add_argument(
-        "--configs", choices=sorted(_CONFIG_SETS), default="standard",
-        help="configuration set to sweep (default standard)",
+        "--configs", default="standard",
+        help="configs to sweep: a comma list of registry presets "
+             "(preset[@window][?key=value,...] overrides), globs over "
+             "preset names ('nosq*'), or set names "
+             "(standard/table5/figure4; default standard) — "
+             "see `repro list`",
     )
     parser.add_argument(
         "--cache-dir", default=str(DEFAULT_CACHE_DIR),
@@ -699,9 +808,31 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_list
     )
 
-    run = sub.add_parser("run", help="run one benchmark on all configs")
-    run.add_argument("benchmark", choices=sorted(PROFILES))
-    _add_scale_args(run)
+    run = sub.add_parser(
+        "run",
+        help="simulate benchmarks on configs (the façade entry point)",
+    )
+    run.add_argument(
+        "specs", nargs="+", metavar="spec",
+        help="benchmark ids (profiles, zoo.* families, trace:/extern: "
+             "paths) and/or config specs "
+             "(preset[@window][?key=value,...], set names like "
+             "'standard', globs like 'nosq*'); no config spec means "
+             "the standard four",
+    )
+    run.add_argument(
+        "--scale", choices=sorted(_NAMED_SCALES), default=None,
+        help="named experiment scale (default: 30000 instructions)",
+    )
+    run.add_argument(
+        "-n", "--instructions", type=int, default=None,
+        help="custom trace length (overrides --scale)",
+    )
+    run.add_argument(
+        "-w", "--warmup", type=int, default=None,
+        help="custom warmup (with -n; default n/2)",
+    )
+    run.add_argument("--seed", type=int, default=17)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="NoSQ vs baseline on benchmarks")

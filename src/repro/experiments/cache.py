@@ -28,7 +28,11 @@ from repro.experiments.codec import canonical_json, config_to_dict
 from repro.experiments.spec import Job
 
 #: Bump when the record layout or simulator semantics change incompatibly.
-CACHE_SCHEMA = 1
+#: 2: campaign execution clamps the warmup for traces shorter than the
+#:    scale's warmup (effective_warmup), changing recorded statistics for
+#:    short trace:/extern: jobs whose keys would otherwise collide with
+#:    schema-1 entries.
+CACHE_SCHEMA = 2
 
 #: Default cache location (relative to the current working directory).
 DEFAULT_CACHE_DIR = Path("results") / "cache"
@@ -57,6 +61,19 @@ def job_key(job: Job) -> str:
     source = source_identity(job.benchmark)
     if source is not None:
         payload["source"] = source
+    # Configs selecting registered components fold the registration's
+    # identity (name:v<version>) into the key, so bumping a component's
+    # version invalidates its cached results — exactly as generator
+    # versions do for trace sources.  Default-only configs contribute
+    # nothing extra, keeping their historical keys byte-stable.
+    from repro.api.components import component_identity, selected_components
+
+    impls = selected_components(job.config)
+    if impls:
+        payload["components"] = {
+            kind: component_identity(kind, name) or name
+            for kind, name in impls.items()
+        }
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
     return digest.hexdigest()
 

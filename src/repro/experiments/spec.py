@@ -49,17 +49,33 @@ class Job:
 
 @dataclass
 class CampaignSpec:
-    """A declarative sweep: benchmarks x configs x seeds at one scale."""
+    """A declarative sweep: benchmarks x configs x seeds at one scale.
+
+    ``configs`` entries may be :class:`MachineConfig` objects or config
+    spec strings (``nosq?backend.rob_size=256``, ``conventional@256``),
+    resolved through the registry (:mod:`repro.api.configs`) — the config
+    axis is string-addressable exactly like the benchmark axis."""
 
     benchmarks: Sequence[str]
-    configs: Sequence[MachineConfig] = field(default_factory=standard_configs)
+    configs: Sequence[MachineConfig | str] = field(
+        default_factory=standard_configs
+    )
     scale: ExperimentScale = DEFAULT
     seeds: Sequence[int] = (17,)
     name: str = "campaign"
 
     def __post_init__(self) -> None:
         self.benchmarks = list(self.benchmarks)
-        self.configs = list(self.configs)
+        if any(isinstance(config, str) for config in self.configs):
+            # Imported lazily: repro.api builds on this package.
+            from repro.api.configs import resolve_config
+
+            self.configs = [
+                resolve_config(config) if isinstance(config, str) else config
+                for config in self.configs
+            ]
+        else:
+            self.configs = list(self.configs)
         self.seeds = list(self.seeds)
         # Validate through the trace-source layer: every benchmark id
         # must resolve (profiles, registered sources, trace:/extern: paths).

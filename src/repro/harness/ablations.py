@@ -20,10 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from repro.core.bypass_predictor import BypassPredictorConfig
 from repro.harness.report import render_table
 from repro.harness.runner import DEFAULT, ExperimentScale, run_suite
 from repro.pipeline.config import MachineConfig
+
+
+def _nosq(overrides: str | None = None) -> MachineConfig:
+    """A NoSQ variant through the registry's override grammar, so every
+    ablation is expressible as a config string (see :mod:`repro.api`)."""
+    # Imported lazily: repro.api builds on the harness.
+    from repro.api.configs import resolve_config
+
+    return resolve_config("nosq" if overrides is None else f"nosq?{overrides}")
 
 
 @dataclass
@@ -71,8 +79,8 @@ def load_queue_ablation(
     benchmarks: Sequence[str], scale: ExperimentScale = DEFAULT
 ) -> list[AblationPoint]:
     """NoSQ with the paper's 48-entry load queue vs without one."""
-    with_lq = replace(MachineConfig.nosq(), name="nosq-lq48", lq_size=48)
-    without_lq = replace(MachineConfig.nosq(), name="nosq-nolq")
+    with_lq = replace(_nosq("lq_size=48"), name="nosq-lq48")
+    without_lq = replace(_nosq(), name="nosq-nolq")
     return _run(benchmarks, [with_lq, without_lq], scale)
 
 
@@ -101,8 +109,7 @@ def tssbf_ablation(
 ) -> list[AblationPoint]:
     """Sweep the T-SSBF entry count around the paper's 128-entry default."""
     variants = [
-        replace(MachineConfig.nosq(), name=f"tssbf-{entries}",
-                tssbf_entries=entries)
+        replace(_nosq(f"tssbf_entries={entries}"), name=f"tssbf-{entries}")
         for entries in TSSBF_SWEEP
     ]
     return _run(benchmarks, variants, scale)
@@ -140,14 +147,10 @@ CONF_SWEEP = (
 def confidence_ablation(
     benchmarks: Sequence[str], scale: ExperimentScale = DEFAULT
 ) -> list[AblationPoint]:
-    variants = []
-    for label, dec in CONF_SWEEP:
-        predictor = BypassPredictorConfig(conf_dec=dec)
-        variants.append(
-            replace(
-                MachineConfig.nosq(predictor=predictor), name=f"conf-{label}"
-            )
-        )
+    variants = [
+        replace(_nosq(f"bypass.conf_dec={dec}"), name=f"conf-{label}")
+        for label, dec in CONF_SWEEP
+    ]
     return _run(benchmarks, variants, scale)
 
 
@@ -183,9 +186,8 @@ def svw_ablation(
     seemingly require re-executing all loads ... or would otherwise induce
     overheads that overwhelm the benefit of the speculation itself."
     """
-    filtered = replace(MachineConfig.nosq(), name="svw-on")
-    unfiltered = replace(MachineConfig.nosq(), name="svw-off",
-                         svw_enabled=False)
+    filtered = replace(_nosq(), name="svw-on")
+    unfiltered = replace(_nosq("svw_enabled=false"), name="svw-off")
     return _run(benchmarks, [filtered, unfiltered], scale)
 
 
@@ -215,13 +217,8 @@ def hybrid_ablation(
     benchmarks: Sequence[str], scale: ExperimentScale = DEFAULT
 ) -> list[AblationPoint]:
     """Hybrid (default) vs path-insensitive-only prediction."""
-    hybrid = replace(MachineConfig.nosq(), name="pred-hybrid")
-    plain_only = replace(
-        MachineConfig.nosq(
-            predictor=BypassPredictorConfig(history_bits=1)
-        ),
-        name="pred-plain",
-    )
+    hybrid = replace(_nosq(), name="pred-hybrid")
+    plain_only = replace(_nosq("bypass.history_bits=1"), name="pred-plain")
     return _run(benchmarks, [hybrid, plain_only], scale)
 
 

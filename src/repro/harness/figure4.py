@@ -40,8 +40,12 @@ class Figure4Point:
         return self.ooo_relative + self.backend_relative
 
 
-def _configs() -> list[MachineConfig]:
-    return [MachineConfig.conventional(), MachineConfig.nosq(delay=True)]
+def figure4_configs() -> list[MachineConfig]:
+    """Baseline vs NoSQ-with-delay (registry set ``figure4``)."""
+    # Imported lazily: repro.api builds on the harness.
+    from repro.api.configs import config_set
+
+    return config_set("figure4")
 
 
 def figure4_series(
@@ -54,7 +58,7 @@ def figure4_series(
 ) -> list[Figure4Point]:
     names = list(benchmarks) if benchmarks is not None else SELECTED_BENCHMARKS
     if results is None:
-        results = run_suite(names, _configs(), scale=scale, seed=seed,
+        results = run_suite(names, figure4_configs(), scale=scale, seed=seed,
                             jobs=jobs, cache=cache)
     points = []
     for name in names:

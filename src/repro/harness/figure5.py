@@ -64,8 +64,11 @@ def _sweep(
     jobs: int = 1,
     cache=None,
 ) -> list[SweepPoint]:
+    # Imported lazily: repro.api builds on the harness.
+    from repro.api.configs import resolve_config
+
     configs = [
-        MachineConfig.conventional(perfect_scheduling=True),
+        resolve_config("conventional-perfect"),
         *variants,
     ]
     results = run_suite(list(benchmarks), configs, scale=scale, seed=seed,

@@ -37,6 +37,21 @@ class ExperimentScale:
         return self.num_instructions - self.warmup
 
 
+def effective_warmup(scale: ExperimentScale, trace_length: int) -> int:
+    """*scale*'s warmup, clamped for short (intrinsic-length) traces.
+
+    File-backed trace sources keep their own length regardless of the
+    scale's ``num_instructions``; when the scale's warmup would swallow
+    the whole trace, fall back to warming up half of it so statistics
+    stay meaningful.  Every default-warmup execution path (``simulate``,
+    ``repro run``, the campaign engine) applies this; synthetic and
+    generator sources always produce ``num_instructions``-length traces,
+    so their statistics are unaffected."""
+    if scale.warmup >= trace_length:
+        return trace_length // 2
+    return scale.warmup
+
+
 #: Seconds-per-benchmark scale for tests and pytest-benchmark runs.
 SMOKE = ExperimentScale("smoke", num_instructions=8_000, warmup=3_000)
 #: Default scale for the examples.
@@ -109,8 +124,9 @@ def run_benchmark(
         scale=scale,
         trace_stats=communication_stats(trace),
     )
+    warmup = effective_warmup(scale, len(trace))
     for config in configs:
-        stats = Processor(config).run(trace, warmup=scale.warmup)
+        stats = Processor(config).run(trace, warmup=warmup)
         result.runs[config.name] = stats
     return result
 
@@ -151,11 +167,13 @@ def run_suite(
 
 def standard_configs(window: int = 128) -> list[MachineConfig]:
     """The four configurations of Figures 2 and 3, plus the normalization
-    baseline (associative SQ + perfect scheduling)."""
-    return [
-        MachineConfig.conventional(window=window, perfect_scheduling=True),
-        MachineConfig.conventional(window=window),
-        MachineConfig.nosq(window=window, delay=False),
-        MachineConfig.nosq(window=window, delay=True),
-        MachineConfig.nosq(window=window, perfect=True),
-    ]
+    baseline (associative SQ + perfect scheduling).
+
+    Thin shim over the config registry (:mod:`repro.api.configs`), which
+    is the source of truth for named configurations; kept for the
+    historical import path.
+    """
+    # Imported lazily: repro.api builds on this module.
+    from repro.api.configs import config_set
+
+    return config_set("standard", window=window)

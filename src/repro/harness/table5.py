@@ -48,11 +48,12 @@ class Table5Row:
     meas_delayed_pct: float
 
 
-def _configs() -> list[MachineConfig]:
-    return [
-        MachineConfig.nosq(delay=False),
-        MachineConfig.nosq(delay=True),
-    ]
+def table5_configs() -> list[MachineConfig]:
+    """The two NoSQ variants Table 5 measures (registry set ``table5``)."""
+    # Imported lazily: repro.api builds on the harness.
+    from repro.api.configs import config_set
+
+    return config_set("table5")
 
 
 def table5_row(
@@ -64,7 +65,7 @@ def table5_row(
     """Compute one benchmark's Table 5 row."""
     profile: BenchmarkProfile = PROFILES[name]
     if result is None:
-        result = run_benchmark(name, _configs(), scale=scale, seed=seed)
+        result = run_benchmark(name, table5_configs(), scale=scale, seed=seed)
     nodelay = result.runs["nosq-nodelay"]
     delay = result.runs["nosq-delay"]
     return Table5Row(
@@ -92,7 +93,7 @@ def table5_rows(
 ) -> list[Table5Row]:
     """Compute Table 5 for *benchmarks* (default: all 47)."""
     names = list(benchmarks) if benchmarks is not None else list(PROFILES)
-    results = run_suite(names, _configs(), scale=scale, seed=seed,
+    results = run_suite(names, table5_configs(), scale=scale, seed=seed,
                         jobs=jobs, cache=cache)
     return [
         table5_row(name, scale=scale, seed=seed, result=results[name])

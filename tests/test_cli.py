@@ -10,14 +10,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_rejects_unknown_benchmark(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "quake3"])
+    def test_rejects_unknown_benchmark(self, capsys):
+        # Not a benchmark, not a config spec: a runtime error (with a
+        # suggestion), no longer an argparse choices SystemExit.
+        assert main(["run", "quake3"]) == 2
+        assert "neither a benchmark id nor a config spec" in \
+            capsys.readouterr().err
 
     def test_scale_defaults(self):
         args = build_parser().parse_args(["run", "gzip"])
-        assert args.instructions == 30_000
+        assert args.instructions is None
         assert args.warmup is None
+        assert args.scale is None
 
 
 class TestCommands:
@@ -60,4 +64,75 @@ class TestCommands:
 
     def test_explicit_warmup(self, capsys):
         assert main(["run", "applu", "-n", "3000", "-w", "1000"]) == 0
-        assert "(1000 warmup)" in capsys.readouterr().out
+        assert "(1000 warmup" in capsys.readouterr().out
+
+    def test_run_config_spec(self, capsys):
+        assert main([
+            "run", "nosq?backend.rob_size=256", "applu", "-n", "3000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nosq-delay?rob_size=256" in out
+        assert "sq-perfect" not in out     # explicit configs, no default set
+
+    def test_run_accepts_sets_and_globs(self, capsys):
+        assert main(["run", "table5", "applu", "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "nosq-nodelay" in out and "nosq-delay" in out
+        assert main(["run", "nosq*", "applu", "-n", "2000"]) == 0
+        assert "nosq-perfect" in capsys.readouterr().out
+
+    def test_run_named_scale(self, capsys):
+        assert main(["run", "nosq", "applu", "--scale", "smoke"]) == 0
+        assert "8000 instructions (3000 warmup" in capsys.readouterr().out
+
+    def test_run_bad_override_suggests(self, capsys):
+        assert main(["run", "nosq?rob_sz=64", "applu", "-n", "2000"]) == 2
+        assert "did you mean 'rob_size'" in capsys.readouterr().err
+
+    def test_run_trace_file_clamps_default_warmup(self, capsys, tmp_path):
+        # File sources keep their intrinsic length; the default warmup
+        # (15000) must not swallow a short recorded trace.
+        from repro.isa.tracefile import save_trace
+        from repro.workloads import generate_trace
+
+        path = tmp_path / "short.bt"
+        save_trace(generate_trace("gzip", 2_000, seed=17), path)
+        assert main(["run", f"trace:{path}"]) == 0
+        out = capsys.readouterr().out
+        assert "(1000 warmup" in out
+
+    def test_run_corrupt_trace_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.bt"
+        bad.write_text("not a trace")
+        assert main(["run", f"trace:{bad}", "-n", "2000"]) == 2
+        assert "not a repro trace file" in capsys.readouterr().err
+
+    def test_run_source_id_gets_registry_suggestions(self, capsys):
+        # source:-shaped ids can never be config specs; the trace
+        # registry's message (with its suggestions) must survive.
+        assert main(["run", "source:pchse", "gzip", "-n", "2000"]) == 2
+        err = capsys.readouterr().err
+        assert "no registered trace source 'pchse'" in err
+        assert "config" not in err
+
+    def test_run_duplicate_config_names_collapse(self, capsys):
+        # nosq-delay is an alias of nosq: one row, simulated once.
+        assert main(["run", "nosq", "nosq-delay", "applu",
+                     "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines()
+                if line.strip().startswith("nosq-delay")]
+        assert len(rows) == 1
+
+    def test_run_requires_benchmark(self, capsys):
+        assert main(["run", "nosq", "-n", "2000"]) == 2
+        assert "no benchmark among the arguments" in \
+            capsys.readouterr().err
+
+    def test_list_shows_presets_and_components(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional-perfect" in out
+        assert "nosq-nodelay" in out
+        assert "bypass_predictor" in out
+        assert "config set" in out
