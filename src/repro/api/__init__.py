@@ -18,7 +18,9 @@ the trace-source registry of :mod:`repro.traces`:
 * **Entry points** (:mod:`repro.api.facade`) — typed
   ``simulate(config, source, scale) -> SimResult`` and
   ``sweep(configs, benchmarks, ...) -> SweepResult`` built on the
-  campaign engine, plus the ``repro run`` CLI command.
+  campaign engine, plus ``validate(configs, source, scale)`` which
+  diffs configurations against the in-order oracle
+  (:mod:`repro.validate`), and the ``repro run`` CLI command.
 
 Quick start::
 
@@ -76,6 +78,7 @@ from repro.api.facade import (
     resolve_scale,
     simulate,
     sweep,
+    validate,
 )
 
 __all__ = [
@@ -115,4 +118,5 @@ __all__ = [
     "sweep",
     "unregister_component",
     "unregister_config",
+    "validate",
 ]

@@ -144,6 +144,33 @@ def simulate(
     )
 
 
+def validate(
+    config: str | MachineConfig | Iterable[str | MachineConfig],
+    source: TraceLike,
+    scale: str | int | ExperimentScale = DEFAULT,
+    *,
+    seed: int = 17,
+) -> Any:
+    """Differentially validate configurations against the in-order oracle.
+
+    Runs *config* (a spec string, a :class:`MachineConfig`, or anything
+    ``resolve_configs`` accepts -- globs, set names, comma lists) over
+    *source*'s trace and cross-checks every invariant in
+    :data:`repro.validate.INVARIANTS` against the oracle replay
+    (:mod:`repro.validate`).  Returns a
+    :class:`~repro.validate.diff.ValidationResult`; ``result.ok`` is
+    True iff no invariant was violated by any configuration.
+    """
+    from repro.validate import run_validation
+
+    configs = resolve_configs(
+        [config] if isinstance(config, MachineConfig) else config
+    )
+    scale = resolve_scale(scale)
+    benchmark, trace = _resolve_trace(source, scale, seed)
+    return run_validation(configs, trace, benchmark=benchmark)
+
+
 @dataclass
 class SweepResult:
     """A finished configs x benchmarks x seeds sweep."""

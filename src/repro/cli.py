@@ -43,6 +43,13 @@ Micro-benchmarks (perf tracking + CI gating; see :mod:`repro.bench`)::
 
     python -m repro bench run --scale smoke                 # BENCH_<rev>.json
     python -m repro bench compare BENCH_baseline.json BENCH_abc1234.json
+
+Differential validation (oracle diffing + fuzzing; see
+:mod:`repro.validate` and docs/validation.md)::
+
+    python -m repro validate run nosq zoo.pchase --scale smoke
+    python -m repro validate fuzz --budget 200 --seed 0 --out repros/
+    python -m repro validate shrink repros/repro-nosq-seed0-17.bt
 """
 
 from __future__ import annotations
@@ -155,6 +162,16 @@ def cmd_list(args) -> int:
         title="Registered components (select with ?<kind>.impl=<name>; "
               "see repro.api.components)",
     ))
+    from repro.validate import list_invariants
+
+    print()
+    print(render_table(
+        ["invariant", "contract"],
+        [[name, contract]
+         for name, contract in sorted(list_invariants().items())],
+        title="Differential-validation invariants (repro validate / "
+              "repro.api.validate; see docs/validation.md)",
+    ))
     return 0
 
 
@@ -179,23 +196,27 @@ def _run_scale(args) -> ExperimentScale:
     return ExperimentScale("cli", 30_000, 15_000)
 
 
-def cmd_run(args) -> int:
+def _split_run_specs(specs):
+    """Split mixed ``repro run``-style positionals into
+    ``(configs, benchmarks)``; None after printing a one-line error
+    (caller exits 2).  Shared by ``repro run`` and ``repro validate
+    run`` so the spec rules and messages cannot diverge."""
     from repro.traces import resolve_source
 
     configs, benchmarks = [], []
-    for spec in args.specs:
+    for spec in specs:
         try:
             resolve_source(spec)
         except FileNotFoundError as exc:
             print(exc, file=sys.stderr)
-            return 2
+            return None
         except KeyError as key_error:
             if ":" in spec.split("?", 1)[0]:
                 # source:/trace:/extern:-shaped ids can never be config
                 # specs; the trace registry's message has the right
                 # suggestions.
                 print(key_error.args[0], file=sys.stderr)
-                return 2
+                return None
             try:
                 # resolve_configs, not resolve_config: run positionals
                 # accept everything campaign --configs does, including
@@ -206,7 +227,7 @@ def cmd_run(args) -> int:
                     f"{spec!r} is neither a benchmark id nor a config "
                     f"spec: {exc}", file=sys.stderr,
                 )
-                return 2
+                return None
         else:
             benchmarks.append(spec)
     if not benchmarks:
@@ -215,7 +236,25 @@ def cmd_run(args) -> int:
             "family, trace:<path> or extern:<path> id "
             "(see `repro list`)", file=sys.stderr,
         )
+        return None
+    return configs, benchmarks
+
+
+def _dedup_configs(configs):
+    """Aliases can resolve to the same machine (nosq == nosq-delay);
+    keep the first of each name rather than simulating twice and
+    silently overwriting the table row."""
+    unique: dict[str, object] = {}
+    for config in configs:
+        unique.setdefault(config.name, config)
+    return list(unique.values())
+
+
+def cmd_run(args) -> int:
+    split = _split_run_specs(args.specs)
+    if split is None:
         return 2
+    configs, benchmarks = split
     try:
         scale = _run_scale(args)
     except ValueError as exc:
@@ -224,14 +263,9 @@ def cmd_run(args) -> int:
     if not configs:
         configs = resolve_configs(_DEFAULT_RUN_CONFIGS)
     else:
-        # Aliases can resolve to the same machine (nosq == nosq-delay);
-        # keep the first of each name rather than simulating twice and
-        # silently overwriting the table row.
-        unique: dict[str, object] = {}
-        for config in configs:
-            unique.setdefault(config.name, config)
-        configs = list(unique.values())
+        configs = _dedup_configs(configs)
     from repro.isa.tracefile import TraceFormatError
+    from repro.traces import resolve_source
 
     for benchmark in benchmarks:
         try:
@@ -331,6 +365,170 @@ def cmd_program(args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# Differential validation
+# --------------------------------------------------------------------- #
+
+
+def cmd_validate_run(args) -> int:
+    from repro.isa.tracefile import TraceFormatError
+    from repro.traces import resolve_source
+    from repro.validate import run_validation
+
+    split = _split_run_specs(args.specs)
+    if split is None:
+        return 2
+    configs, benchmarks = split
+    try:
+        scale = _run_scale(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not configs:
+        configs = resolve_configs("standard")
+    else:
+        configs = _dedup_configs(configs)
+    failed = False
+    for benchmark in benchmarks:
+        try:
+            trace = resolve_source(benchmark).trace(scale, args.seed)
+        except (TraceFormatError, OSError) as exc:
+            print(f"{benchmark}: {exc}", file=sys.stderr)
+            return 2
+        result = run_validation(configs, trace, benchmark=benchmark)
+        rows = [
+            [report.config_name, report.instructions,
+             len(report.violations),
+             "OK" if report.ok else "VIOLATED"]
+            for report in result.reports
+        ]
+        print(render_table(
+            ["config", "instructions", "violations", "verdict"], rows,
+            title=f"{benchmark}: differential validation vs the in-order "
+                  f"oracle ({len(configs)} configs, seed {args.seed})",
+        ))
+        for report in result.reports:
+            if not report.ok:
+                print(report.describe(), file=sys.stderr)
+        for violation in result.cross_violations:
+            print(violation.describe(), file=sys.stderr)
+        if not result.ok:
+            failed = True
+    if failed:
+        return 1
+    print("all invariants hold")
+    return 0
+
+
+def cmd_validate_fuzz(args) -> int:
+    from repro.validate import run_fuzz
+
+    try:
+        configs = resolve_configs(args.configs)
+    except ConfigSpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.budget < 1:
+        print(f"--budget must be >= 1, got {args.budget}", file=sys.stderr)
+        return 2
+    if args.length < 1:
+        # A non-positive length would "fuzz" empty traces and report an
+        # all-clean run -- refuse rather than vacuously succeed.
+        print(f"--length must be >= 1, got {args.length}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else (lambda msg: print(f"[fuzz] {msg}"))
+    result = run_fuzz(
+        configs, budget=args.budget, seed=args.seed, length=args.length,
+        out_dir=args.out, progress=progress,
+    )
+    if result.ok:
+        print(
+            f"{result.traces_run} adversarial traces x "
+            f"{len(configs)} configs: no invariant violations "
+            f"(seed {args.seed})"
+        )
+        return 0
+    print(result.failure.describe(), file=sys.stderr)
+    return 1
+
+
+def cmd_validate_shrink(args) -> int:
+    from repro.isa.tracefile import TraceFormatError, load_trace
+    from repro.traces.reprocase import (
+        MissingSidecarError,
+        load_repro_case,
+        save_repro_case,
+    )
+    from repro.validate import reindex_trace, run_diff, shrink_trace
+
+    config_spec = args.config
+    try:
+        case = load_repro_case(args.path)
+        trace = case.trace
+        if config_spec is None:
+            config_spec = case.config_name
+    except (TraceFormatError, FileNotFoundError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except MissingSidecarError:
+        # A bare trace without a sidecar: --config selects the machine.
+        if config_spec is None:
+            print(
+                f"{args.path} has no repro-case sidecar; pass --config",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            trace = load_trace(args.path)
+        except (TraceFormatError, FileNotFoundError, OSError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    except ValueError as exc:
+        # Malformed sidecar / oracle-version mismatch.
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        config = resolve_config(config_spec)
+    except ConfigSpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    # Re-derive the annotations up front: the shrinker must minimize
+    # against exactly the trace its candidates are rebuilt from, and a
+    # file whose *stored* annotations are stale is `repro trace
+    # validate`'s problem, not a timing-model failure to minimize.
+    trace = reindex_trace(trace)
+    report = run_diff(config, trace, benchmark=str(args.path))
+    if report.ok:
+        print(
+            f"{args.path}: no invariant violations under {config.name}; "
+            "nothing to shrink"
+        )
+        return 1
+    shrunk = shrink_trace(
+        trace,
+        lambda candidate: not run_diff(config, candidate).ok,
+        max_checks=args.max_checks,
+    )
+    final = run_diff(config, shrunk, benchmark=f"{args.path}.min")
+    output = args.out or f"{args.path}.min.bt"
+    # Report the minimized failure before attempting the save, so an
+    # unwritable output path cannot swallow the diagnosis.
+    print(final.describe(), file=sys.stderr)
+    try:
+        save_repro_case(
+            shrunk, output, config_name=config.name,
+            violations=[v.describe() for v in final.violations],
+        )
+    except OSError as exc:
+        print(f"cannot write {output}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"shrunk {len(trace)} -> {len(shrunk)} instructions; minimal "
+        f"repro saved to {output}"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # Micro-benchmarks
 # --------------------------------------------------------------------- #
 
@@ -350,7 +548,11 @@ def cmd_bench_run(args) -> int:
         repeat=args.repeat, progress=progress,
     )
     output = args.output or f"BENCH_{report['rev']}.json"
-    write_report(report, output)
+    try:
+        write_report(report, output)
+    except OSError as exc:
+        print(f"cannot write {output}: {exc}", file=sys.stderr)
+        return 2
     print(render_report(report))
     print(f"report written to {output}")
     return 0
@@ -366,7 +568,9 @@ def cmd_bench_compare(args) -> int:
         comparisons = compare_reports(
             baseline, candidate, threshold=args.threshold
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
+        # Missing or corrupt report files are a usage error, not a
+        # traceback: exit 2 with one line, like `repro run`.
         print(exc, file=sys.stderr)
         return 2
     print(render_comparison(
@@ -922,6 +1126,95 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "native", "synchrotrace"), default="auto",
     )
     trace_validate.set_defaults(func=cmd_trace_validate)
+
+    validate = sub.add_parser(
+        "validate",
+        help="differential validation against the in-order oracle "
+             "(repro.validate)",
+    )
+    validate_sub = validate.add_subparsers(dest="validate_command",
+                                           required=True)
+
+    validate_run = validate_sub.add_parser(
+        "run",
+        help="diff config specs against the oracle over benchmarks; "
+             "nonzero exit on any invariant violation",
+    )
+    validate_run.add_argument(
+        "specs", nargs="+", metavar="spec",
+        help="benchmark ids and/or config specs, mixed freely like "
+             "`repro run` (no config spec means the standard set)",
+    )
+    validate_run.add_argument(
+        "--scale", choices=sorted(_NAMED_SCALES), default=None,
+        help="named experiment scale (default: 30000 instructions)",
+    )
+    validate_run.add_argument(
+        "-n", "--instructions", type=int, default=None,
+        help="custom trace length (overrides --scale)",
+    )
+    validate_run.add_argument(
+        "-w", "--warmup", type=int, default=None,
+        help="accepted for symmetry with `repro run`; validation always "
+             "measures the whole trace",
+    )
+    validate_run.add_argument("--seed", type=int, default=17)
+    validate_run.set_defaults(func=cmd_validate_run)
+
+    validate_fuzz = validate_sub.add_parser(
+        "fuzz",
+        help="run adversarial random traces through the differential "
+             "runner; shrink + save the first failure",
+    )
+    validate_fuzz.add_argument(
+        "--budget", type=int, default=100,
+        help="number of random traces to try (default 100)",
+    )
+    validate_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="base RNG seed; (seed, trace index) reproduces any trace "
+             "exactly (default 0)",
+    )
+    validate_fuzz.add_argument(
+        "--length", type=int, default=120,
+        help="instructions per fuzzed trace (default 120)",
+    )
+    validate_fuzz.add_argument(
+        "--configs", default="nosq,conventional",
+        help="config specs/globs/sets to fuzz (default nosq,conventional)",
+    )
+    validate_fuzz.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory to save the shrunk minimal repro into "
+             "(v2 trace + JSON sidecar)",
+    )
+    validate_fuzz.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress lines",
+    )
+    validate_fuzz.set_defaults(func=cmd_validate_fuzz)
+
+    validate_shrink = validate_sub.add_parser(
+        "shrink",
+        help="re-shrink a failing trace (repro case or bare trace file) "
+             "to a minimal repro",
+    )
+    validate_shrink.add_argument(
+        "path", help="repro-case .bt (with .json sidecar) or any trace file",
+    )
+    validate_shrink.add_argument(
+        "--config", default=None,
+        help="config spec to diff against (default: the sidecar's)",
+    )
+    validate_shrink.add_argument(
+        "--max-checks", type=int, default=2000,
+        help="predicate-evaluation budget for shrinking (default 2000)",
+    )
+    validate_shrink.add_argument(
+        "-o", "--out", default=None,
+        help="output path for the minimal repro (default <path>.min.bt)",
+    )
+    validate_shrink.set_defaults(func=cmd_validate_shrink)
 
     bench = sub.add_parser(
         "bench",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.isa import bits
+from repro.isa import bits, semantics
 from repro.isa.assembler import INST_BYTES
 from repro.isa.instructions import Instruction, NUM_ARCH_REGS, REG_ZERO
 from repro.isa.opcodes import (
@@ -109,12 +109,10 @@ class FunctionalExecutor:
             addr = (regs[inst.rs1] + inst.imm) & bits.WORD_MASK
             size = MEM_SIZE[opc]
             raw = self.memory.read(addr, size)
-            if opc in FP_CONVERT_OPS:
-                value = bits.single_bits_to_double_bits(raw)
-            elif opc in SIGNED_LOADS:
-                value = bits.sign_extend(raw, size)
-            else:
-                value = bits.zero_extend(raw, size)
+            value = semantics.load_from_memory(
+                raw, size, signed=opc in SIGNED_LOADS,
+                fp_convert=opc in FP_CONVERT_OPS,
+            )
             self._write_reg(inst.rd, value)
             dyn.addr, dyn.size = addr, size
             dyn.signed = opc in SIGNED_LOADS
@@ -122,9 +120,9 @@ class FunctionalExecutor:
         elif cls is OpClass.STORE:
             addr = (regs[inst.rs1] + inst.imm) & bits.WORD_MASK
             size = MEM_SIZE[opc]
-            value = regs[inst.rs2]
-            if opc in FP_CONVERT_OPS:
-                value = bits.double_bits_to_single_bits(value)
+            value = semantics.store_to_memory(
+                regs[inst.rs2], size, fp_convert=opc in FP_CONVERT_OPS
+            )
             self.memory.write(addr, value, size)
             dyn.addr, dyn.size = addr, size
             dyn.fp_convert = opc in FP_CONVERT_OPS

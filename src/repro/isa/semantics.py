@@ -1,0 +1,51 @@
+"""Architectural memory-operation semantics, as pure functions.
+
+This module is the single written-down contract for what a store puts
+into memory and what a load makes of the bytes it reads -- the mini-ISA
+equivalent of the Alpha manual's load/store chapter.  Two independent
+consumers share it:
+
+* the functional executor (:mod:`repro.isa.executor`), which produces
+  ground-truth traces by actually running programs, and
+* the in-order oracle (:mod:`repro.validate.oracle`), which replays
+  traces to cross-check the timing model's store-load forwarding.
+
+Keeping both on these functions -- and keeping the *pipeline's* bypass
+datapath (:mod:`repro.core.partial_word`) off them -- is what makes the
+differential validation meaningful: the oracle derives values from the
+ISA contract, the pipeline derives them from its shift & mask network,
+and :mod:`repro.validate.diff` checks that the two agree.
+"""
+
+from __future__ import annotations
+
+from repro.isa import bits
+
+
+def store_to_memory(reg_value: int, size: int, fp_convert: bool) -> int:
+    """The value pattern a store writes to memory.
+
+    The store's data-input register is truncated to the stored bytes;
+    ``sts`` (``fp_convert``) first converts the 64-bit in-register double
+    representation to the 32-bit in-memory single pattern.
+    """
+    value = reg_value & bits.WORD_MASK
+    if fp_convert:
+        value = bits.double_bits_to_single_bits(value)
+    return bits.truncate(value, size)
+
+
+def load_from_memory(raw: int, size: int, signed: bool,
+                     fp_convert: bool) -> int:
+    """The register value a load forms from *raw* (the memory bytes).
+
+    ``lds`` (``fp_convert``) expands the 32-bit single pattern to the
+    64-bit in-register representation; integer loads zero- or
+    sign-extend the read bytes.
+    """
+    raw = bits.truncate(raw, size)
+    if fp_convert:
+        return bits.single_bits_to_double_bits(raw)
+    if signed:
+        return bits.sign_extend(raw, size)
+    return bits.zero_extend(raw, size)

@@ -15,7 +15,10 @@ simulators (gem5's SynchroTrace tester is the pattern's reference):
   streaming reader/writer, ~10x smaller than the v1 gzip-JSONL format;
 * :mod:`repro.traces.importers` — converters from external event-trace
   formats (SynchroTrace-style compute/read/write/dependency events) into
-  annotated :class:`~repro.isa.trace.DynInst` streams.
+  annotated :class:`~repro.isa.trace.DynInst` streams;
+* :mod:`repro.traces.reprocase` — minimal-repro serialization for
+  differential-validation failures (a v2 trace plus a JSON sidecar
+  recording the config, violated invariants and fuzz coordinates).
 
 ``repro trace record|convert|info|validate`` exposes the subsystem on the
 command line; see ``docs/traces.md`` for the format specification and the
@@ -34,6 +37,11 @@ from repro.traces.binformat import (
     write_trace,
 )
 from repro.traces.importers import import_synchrotrace
+from repro.traces.reprocase import (
+    ReproCase,
+    load_repro_case,
+    save_repro_case,
+)
 from repro.traces.source import (
     ExternalTraceSource,
     FileTraceSource,
@@ -58,6 +66,7 @@ __all__ = [
     "ExternalTraceSource",
     "FileTraceSource",
     "GeneratorSource",
+    "ReproCase",
     "SyntheticSource",
     "TraceSource",
     "ZOO_BENCHMARKS",
@@ -65,7 +74,9 @@ __all__ = [
     "is_binary_trace",
     "known_benchmark_ids",
     "list_sources",
+    "load_repro_case",
     "read_trace",
+    "save_repro_case",
     "register_source",
     "register_trace_file",
     "register_zoo_sources",

@@ -1,0 +1,210 @@
+"""The in-order oracle: ground-truth values for every load in a trace.
+
+A deliberately boring machine: one instruction at a time, in program
+order, against a byte-addressable memory.  No store queue, no SVW, no
+T-SSBF, no prediction, no cycles -- nothing the timing model does is
+consulted, so nothing the timing model gets wrong can leak in.  Values
+come from the ISA contract (:mod:`repro.isa.semantics`); the only
+liberty taken is *what* each store writes, since traces carry addresses
+and sizes but not data.
+
+Synthetic store data
+--------------------
+Every dynamic store ``s`` writes :func:`store_value`\\(s) -- a fixed
+64-bit mix of its dense store sequence number.  The mix spreads over all
+eight bytes, so two different stores practically never write equal bytes
+and a load that observed the *wrong* store is visible in its value, byte
+for byte.  Memory bytes never written inside the trace read as
+:func:`background_byte`\\(addr), a deterministic hash of the address, so
+out-of-trace reads are defined too.  Both functions are pure and
+versioned by this module alone; the differential runner
+(:mod:`repro.validate.diff`) uses them to reconstruct what the pipeline's
+datapath *would* have produced and compares against this oracle.
+
+The oracle also re-derives store-load provenance (per-byte writer store
+seqs) independently of :func:`repro.isa.trace.annotate_trace`; the
+differential runner cross-checks the two, so stale trace annotations are
+caught as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Sequence
+
+from repro.isa import semantics
+from repro.isa.trace import MEMORY_SOURCE, DynInst
+
+#: Bump when the synthetic value functions change: committed repro cases
+#: record it, and a case from another version is rejected on load.
+ORACLE_VERSION = 1
+
+
+def store_value(store_seq: int) -> int:
+    """The 64-bit data-register value dynamic store *store_seq* carries.
+
+    A splitmix64-style finalizer: consecutive seqs produce values that
+    differ in every byte with overwhelming probability, which is what
+    makes value mismatches attributable to a specific wrong store.
+    """
+    z = (store_seq + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def background_byte(addr: int) -> int:
+    """The byte at *addr* before any in-trace store wrote it."""
+    z = (addr + 0xD6E8FEB86659FD93) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 32)) * 0xD6E8FEB86659FD93) & 0xFFFFFFFFFFFFFFFF
+    return (z ^ (z >> 32)) & 0xFF
+
+
+def digest_memory(memory: dict[int, int]) -> str:
+    """Order-independent digest of a byte memory image (addr -> byte).
+
+    The one canonical encoding both the oracle's final state and the
+    differential runner's committed-stream replay hash, so the
+    arch-equivalence comparison can never drift on encoding alone.
+    """
+    digest = sha256()
+    for addr in sorted(memory):
+        digest.update(addr.to_bytes(8, "little"))
+        digest.update(bytes((memory[addr],)))
+    return digest.hexdigest()
+
+
+def stored_bytes(inst: DynInst) -> bytes:
+    """The memory byte pattern store *inst* writes, little-endian."""
+    raw = semantics.store_to_memory(
+        store_value(inst.store_seq), inst.size, fp_convert=inst.fp_convert
+    )
+    return raw.to_bytes(inst.size, "little")
+
+
+@dataclass(frozen=True, slots=True)
+class LoadObservation:
+    """Ground truth for one dynamic load."""
+
+    #: Dynamic sequence number of the load.
+    seq: int
+    addr: int
+    size: int
+    #: The architecturally correct register value (post extend/convert).
+    value: int
+    #: Per-byte writer store seq (``MEMORY_SOURCE`` for background bytes).
+    byte_sources: tuple[int, ...]
+    #: The single store supplying every byte, else ``MEMORY_SOURCE``.
+    containing_store: int
+    #: ``addr - containing store's addr`` (the true bypass shift), or -1.
+    shift: int
+
+    @property
+    def communicates(self) -> bool:
+        return any(s != MEMORY_SOURCE for s in self.byte_sources)
+
+    @property
+    def is_multi_source(self) -> bool:
+        return len({s for s in self.byte_sources if s != MEMORY_SOURCE}) > 1
+
+
+@dataclass
+class OracleReport:
+    """Everything the in-order replay of one trace establishes."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    #: Ground truth per load, in program order.
+    observations: list[LoadObservation] = field(default_factory=list)
+    #: Load seq -> observation, for the differential runner's lookups.
+    by_seq: dict[int, LoadObservation] = field(default_factory=dict)
+    #: Store seq -> the store's DynInst (program order).
+    store_insts: list[DynInst] = field(default_factory=list)
+    #: Per byte address: the write history as (store_seq, byte) pairs in
+    #: program order.  The differential runner walks these backwards to
+    #: reconstruct what a cache read at a given visibility horizon saw.
+    byte_history: dict[int, list[tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    #: Loads with at least one in-trace source byte.
+    communicating_loads: int = 0
+
+    def final_memory(self) -> dict[int, int]:
+        """Canonical final architectural memory: addr -> byte."""
+        return {
+            addr: history[-1][1]
+            for addr, history in self.byte_history.items()
+        }
+
+    def memory_digest(self) -> str:
+        """Order-independent digest of the final architectural memory."""
+        return digest_memory(self.final_memory())
+
+
+def replay_oracle(trace: Sequence[DynInst]) -> OracleReport:
+    """Replay *trace* in order and return the ground-truth report.
+
+    Only program order and the ISA memory semantics are consulted; trace
+    annotations (``src_stores``, ``containing_store``...) are ignored so
+    the report can be diffed against them.
+    """
+    report = OracleReport(instructions=len(trace))
+    byte_history = report.byte_history
+    # addr -> (store_seq, byte): the youngest writer, kept separately so
+    # load reads stay O(size) rather than walking histories.
+    current: dict[int, tuple[int, int]] = {}
+    store_count = 0
+    for inst in trace:
+        if inst.is_store:
+            if inst.store_seq != store_count:
+                raise ValueError(
+                    f"store at seq {inst.seq} has store_seq "
+                    f"{inst.store_seq}, program order says {store_count}"
+                )
+            data = stored_bytes(inst)
+            for offset, byte in enumerate(data):
+                addr = inst.addr + offset
+                entry = (inst.store_seq, byte)
+                current[addr] = entry
+                byte_history.setdefault(addr, []).append(entry)
+            report.store_insts.append(inst)
+            report.stores += 1
+            store_count += 1
+        elif inst.is_load:
+            sources = []
+            raw = 0
+            for offset in range(inst.size):
+                addr = inst.addr + offset
+                entry = current.get(addr)
+                if entry is None:
+                    sources.append(MEMORY_SOURCE)
+                    raw |= background_byte(addr) << (8 * offset)
+                else:
+                    sources.append(entry[0])
+                    raw |= entry[1] << (8 * offset)
+            value = semantics.load_from_memory(
+                raw, inst.size, signed=inst.signed,
+                fp_convert=inst.fp_convert,
+            )
+            unique = set(sources)
+            if len(unique) == 1 and MEMORY_SOURCE not in unique:
+                containing = sources[0]
+                shift = inst.addr - report.store_insts[containing].addr
+            else:
+                containing, shift = MEMORY_SOURCE, -1
+            observation = LoadObservation(
+                seq=inst.seq, addr=inst.addr, size=inst.size, value=value,
+                byte_sources=tuple(sources), containing_store=containing,
+                shift=shift,
+            )
+            report.observations.append(observation)
+            report.by_seq[inst.seq] = observation
+            report.loads += 1
+            if observation.communicates:
+                report.communicating_loads += 1
+        elif inst.is_branch:
+            report.branches += 1
+    return report

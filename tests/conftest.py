@@ -1,11 +1,26 @@
-"""Shared test fixtures and trace-building helpers."""
+"""Shared test fixtures, Hypothesis profiles, trace-building helpers."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.isa.opcodes import OpClass
 from repro.isa.trace import DynInst, annotate_trace
+
+# Hypothesis profiles: "ci" (the default) derandomizes example generation
+# so the suite explores a fixed, seed-stable set of traces on every run;
+# "dev" restores random exploration for local bug hunting
+# (HYPOTHESIS_PROFILE=dev pytest ...).  Per-test @settings(...) overrides
+# compose with whichever profile is active.
+settings.register_profile(
+    "ci", deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 def build_trace(specs):

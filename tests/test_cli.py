@@ -136,3 +136,137 @@ class TestCommands:
         assert "nosq-nodelay" in out
         assert "bypass_predictor" in out
         assert "config set" in out
+
+
+class TestValidateCLI:
+    def test_run_clean(self, capsys):
+        assert main(["validate", "run", "nosq", "zoo.pchase",
+                     "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "nosq-delay" in out and "all invariants hold" in out
+
+    def test_run_defaults_to_standard_set(self, capsys):
+        assert main(["validate", "run", "zoo.pchase", "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sq-perfect", "sq-storesets", "nosq-nodelay",
+                     "nosq-delay", "nosq-perfect"):
+            assert name in out
+
+    def test_run_requires_benchmark(self, capsys):
+        assert main(["validate", "run", "nosq"]) == 2
+        assert "no benchmark among the arguments" in \
+            capsys.readouterr().err
+
+    def test_run_corrupt_trace_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.bt"
+        bad.write_text("not a trace")
+        assert main(["validate", "run", "nosq", f"trace:{bad}"]) == 2
+        assert "not a repro trace file" in capsys.readouterr().err
+
+    def test_run_missing_trace_exits_2(self, capsys, tmp_path):
+        assert main(["validate", "run", "nosq",
+                     f"trace:{tmp_path}/nope.bt"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_fuzz_clean(self, capsys):
+        assert main(["validate", "fuzz", "--budget", "5", "--seed", "0",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "5 adversarial traces" in out
+        assert "no invariant violations" in out
+
+    def test_fuzz_bad_budget_exits_2(self, capsys):
+        assert main(["validate", "fuzz", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_fuzz_bad_length_exits_2(self, capsys):
+        # length 0 would vacuously fuzz empty traces and report success.
+        assert main(["validate", "fuzz", "--budget", "5",
+                     "--length", "0"]) == 2
+        assert "--length" in capsys.readouterr().err
+
+    def test_fuzz_bad_config_exits_2(self, capsys):
+        assert main(["validate", "fuzz", "--configs", "nosqq"]) == 2
+        assert "nosq" in capsys.readouterr().err
+
+    def test_shrink_corrupt_trace_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.bt"
+        bad.write_text("garbage")
+        assert main(["validate", "shrink", str(bad),
+                     "--config", "nosq"]) == 2
+        assert "not a repro trace file" in capsys.readouterr().err
+
+    def test_shrink_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["validate", "shrink", f"{tmp_path}/nope.bt"]) == 2
+        err = capsys.readouterr().err
+        assert "nope.bt" in err
+
+    def test_shrink_malformed_sidecar_exits_2(self, capsys, tmp_path):
+        # A *corrupt* sidecar must be reported as such, not silently
+        # treated as a bare trace.
+        import shutil
+
+        shutil.copy("tests/data/repro_svw_miss.bt", tmp_path / "c.bt")
+        (tmp_path / "c.bt.json").write_text("{truncated")
+        assert main(["validate", "shrink", str(tmp_path / "c.bt"),
+                     "--config", "nosq"]) == 2
+        assert "malformed sidecar" in capsys.readouterr().err
+
+    def test_shrink_bare_trace_needs_config(self, capsys, tmp_path):
+        from repro.isa.tracefile import save_trace
+        from repro.workloads import generate_trace
+
+        path = tmp_path / "bare.bt"
+        save_trace(generate_trace("gzip", 500, seed=17), path, version=2)
+        assert main(["validate", "shrink", str(path)]) == 2
+        assert "pass --config" in capsys.readouterr().err
+
+    def test_shrink_unwritable_output_exits_2(self, capsys, tmp_path, monkeypatch):
+        # A real failing case (the committed fixture under a mutated
+        # simulator) whose minimal repro cannot be written: the diagnosis
+        # must still be printed, with a one-line exit-2 error.
+        from repro.pipeline.processor import Processor
+
+        monkeypatch.setattr(
+            Processor, "_load_value_ok", lambda self, entry: True
+        )
+        trace_file = tmp_path / "plain.txt"
+        trace_file.write_text("in the way")
+        assert main([
+            "validate", "shrink", "tests/data/repro_svw_miss.bt",
+            "-o", str(trace_file / "nested" / "x.bt"),  # file as a dir
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "svw-completeness" in err
+        assert "cannot write" in err
+
+    def test_shrink_clean_case_exits_1(self, capsys):
+        # The committed fixture replays clean on the real simulator.
+        assert main(["validate", "shrink",
+                     "tests/data/repro_svw_miss.bt"]) == 1
+        assert "nothing to shrink" in capsys.readouterr().out
+
+    def test_list_shows_invariants(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "svw-completeness" in out
+        assert "forwarding-correctness" in out
+
+
+class TestBenchErrorPaths:
+    def test_compare_missing_report_exits_2(self, capsys, tmp_path):
+        assert main(["bench", "compare", f"{tmp_path}/a.json",
+                     f"{tmp_path}/b.json"]) == 2
+        assert "not a readable bench report" in capsys.readouterr().err
+
+    def test_compare_corrupt_report_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        assert main(["bench", "compare", str(bad), str(bad)]) == 2
+        assert "not a readable bench report" in capsys.readouterr().err
+
+    def test_run_unwritable_output_exits_2(self, capsys, tmp_path):
+        target = tmp_path / "no" / "such" / "dir" / "out.json"
+        assert main(["bench", "run", "gzip", "--scale", "smoke",
+                     "--repeat", "1", "-o", str(target), "-q"]) == 2
+        assert "cannot write" in capsys.readouterr().err

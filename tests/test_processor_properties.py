@@ -6,50 +6,29 @@ load with a stale/wrong value from re-execution, so simply running randomized
 traces to completion -- with tiny filter/predictor structures to maximize
 aliasing and eviction stress -- proves the verification logic sound over the
 explored space.
+
+The traces come from the differential fuzzer's Hypothesis strategies
+(:func:`repro.validate.fuzz.ops_strategy`): the same adversarial
+distribution -- misaligned sub-word collisions, predictor-training
+bursts, SVW-window-straddling reuse -- that ``repro validate fuzz``
+draws from its seeded RNG.  The ``ci`` profile (tests/conftest.py)
+derandomizes example generation, so CI explores a fixed corpus.
+
+The differential properties go further than "runs to completion": every
+explored trace is also cross-checked invariant-by-invariant against the
+in-order oracle (:mod:`repro.validate`).
 """
 
 import dataclasses
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.core.bypass_predictor import BypassPredictorConfig
 from repro.pipeline import MachineConfig, simulate
-from tests.conftest import build_trace
+from repro.validate import ops_strategy, ops_to_trace, run_diff
 
-# Small slot space => frequent address collisions; repeated PC blocks =>
-# predictor training and mispredictions; branches => path history churn.
-OP = st.one_of(
-    st.tuples(st.just("st"),
-              st.integers(min_value=0, max_value=11),     # slot
-              st.sampled_from([1, 2, 4, 8]),
-              st.integers(min_value=0, max_value=3)),     # pc site
-    st.tuples(st.just("ld"),
-              st.integers(min_value=0, max_value=11),
-              st.sampled_from([1, 2, 4, 8]),
-              st.integers(min_value=0, max_value=3)),
-    st.tuples(st.just("alu"), st.integers(min_value=0, max_value=3)),
-    st.tuples(st.just("br"), st.booleans(), st.integers(min_value=0, max_value=1)),
-)
-
-
-def trace_from(ops):
-    specs = []
-    for op in ops:
-        if op[0] == "st":
-            _, slot, size, site = op
-            addr = 0x8000 + 8 * slot
-            addr -= addr % size
-            specs.append(("st", addr, size, 8, {"pc": 0x2000 + 16 * site}))
-        elif op[0] == "ld":
-            _, slot, size, site = op
-            addr = 0x8000 + 8 * slot
-            addr -= addr % size
-            specs.append(("ld", addr, size, {"pc": 0x2004 + 16 * site}))
-        elif op[0] == "alu":
-            specs.append(("alu", 8 + op[1], {"pc": 0x3000}))
-        else:
-            specs.append(("br", op[1], {"pc": 0x3100 + 16 * op[2]}))
-    return build_trace(specs)
+OPS = ops_strategy(min_size=1, max_size=120)
+SMALL_OPS = ops_strategy(min_size=1, max_size=80)
 
 
 def stressed(config: MachineConfig) -> MachineConfig:
@@ -65,50 +44,75 @@ def stressed(config: MachineConfig) -> MachineConfig:
 class TestNoSilentWrongCommit:
     """Running to completion implies every stale value was caught."""
 
-    @given(st.lists(OP, min_size=1, max_size=120))
+    @given(OPS)
     @settings(max_examples=80, deadline=None)
     def test_nosq_with_delay(self, ops):
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(stressed(MachineConfig.nosq(delay=True)), trace)
         assert stats.instructions == len(trace)
 
-    @given(st.lists(OP, min_size=1, max_size=120))
+    @given(OPS)
     @settings(max_examples=80, deadline=None)
     def test_nosq_without_delay(self, ops):
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(stressed(MachineConfig.nosq(delay=False)), trace)
         assert stats.instructions == len(trace)
 
-    @given(st.lists(OP, min_size=1, max_size=120))
+    @given(OPS)
     @settings(max_examples=60, deadline=None)
     def test_conventional(self, ops):
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(stressed(MachineConfig.conventional()), trace)
         assert stats.instructions == len(trace)
 
-    @given(st.lists(OP, min_size=1, max_size=100))
+    @given(ops_strategy(min_size=1, max_size=100))
     @settings(max_examples=40, deadline=None)
     def test_tiny_ssn_space_with_drains(self, ops):
         config = stressed(MachineConfig.nosq())
         config = dataclasses.replace(config, ssn_bits=4)
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(config, trace)
         assert stats.instructions == len(trace)
 
 
+class TestDifferentialProperties:
+    """Every explored trace holds every oracle invariant, not just
+    "no internal assertion fired"."""
+
+    @given(SMALL_OPS)
+    @settings(max_examples=30, deadline=None)
+    def test_nosq_diffs_clean(self, ops):
+        report = run_diff(MachineConfig.nosq(), ops_to_trace(ops))
+        assert report.ok, report.describe()
+
+    @given(SMALL_OPS)
+    @settings(max_examples=25, deadline=None)
+    def test_stressed_nosq_diffs_clean(self, ops):
+        report = run_diff(
+            stressed(MachineConfig.nosq()), ops_to_trace(ops)
+        )
+        assert report.ok, report.describe()
+
+    @given(SMALL_OPS)
+    @settings(max_examples=25, deadline=None)
+    def test_conventional_diffs_clean(self, ops):
+        report = run_diff(MachineConfig.conventional(), ops_to_trace(ops))
+        assert report.ok, report.describe()
+
+
 class TestOracleConfigurations:
-    @given(st.lists(OP, min_size=1, max_size=120))
+    @given(OPS)
     @settings(max_examples=60, deadline=None)
     def test_perfect_smb_never_flushes(self, ops):
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(MachineConfig.nosq(perfect=True), trace)
         assert stats.flushes == 0
         assert stats.instructions == len(trace)
 
-    @given(st.lists(OP, min_size=1, max_size=120))
+    @given(OPS)
     @settings(max_examples=60, deadline=None)
     def test_perfect_scheduling_never_flushes(self, ops):
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(
             MachineConfig.conventional(perfect_scheduling=True), trace
         )
@@ -117,10 +121,10 @@ class TestOracleConfigurations:
 
 
 class TestInvariants:
-    @given(st.lists(OP, min_size=1, max_size=100))
+    @given(ops_strategy(min_size=1, max_size=100))
     @settings(max_examples=40, deadline=None)
     def test_load_classification_partitions(self, ops):
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(MachineConfig.nosq(), trace)
         assert (
             stats.bypassed_loads + stats.delayed_loads + stats.nonbypassed_loads
@@ -128,29 +132,29 @@ class TestInvariants:
         )
         assert stats.bypass_identity + stats.bypass_injected == stats.bypassed_loads
 
-    @given(st.lists(OP, min_size=1, max_size=100))
+    @given(ops_strategy(min_size=1, max_size=100))
     @settings(max_examples=40, deadline=None)
     def test_composition_matches_trace(self, ops):
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(MachineConfig.nosq(), trace)
         assert stats.loads == sum(i.is_load for i in trace)
         assert stats.stores == sum(i.is_store for i in trace)
         assert stats.branches == sum(i.is_branch for i in trace)
 
-    @given(st.lists(OP, min_size=1, max_size=80))
+    @given(SMALL_OPS)
     @settings(max_examples=30, deadline=None)
     def test_determinism(self, ops):
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         first = simulate(MachineConfig.nosq(), trace)
         second = simulate(MachineConfig.nosq(), trace)
         assert first.cycles == second.cycles
         assert first.flushes == second.flushes
         assert first.bypassed_loads == second.bypassed_loads
 
-    @given(st.lists(OP, min_size=1, max_size=80))
+    @given(SMALL_OPS)
     @settings(max_examples=30, deadline=None)
     def test_cycles_bounded(self, ops):
         """IPC cannot exceed the machine width; cycles stay finite."""
-        trace = trace_from(ops)
+        trace = ops_to_trace(ops)
         stats = simulate(MachineConfig.nosq(), trace)
         assert stats.cycles >= len(trace) / 4

@@ -11,6 +11,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.harness.runner import ExperimentScale, make_trace
 from repro.pipeline import MachineConfig, simulate
+from repro.validate import generate_ops, ops_strategy, ops_to_trace
 from tests.conftest import build_trace
 
 TINY = ExperimentScale("tiny", num_instructions=4_000, warmup=1_500)
@@ -123,3 +124,32 @@ class TestSeedStability:
         trace = make_trace("applu", TINY, seed=seed)
         stats = simulate(MachineConfig.nosq(), trace, warmup=TINY.warmup)
         assert 0.4 < stats.ipc < 2.5
+
+
+class TestFuzzedTraceTiming:
+    """Timing sanity over the differential fuzzer's trace distribution
+    (the same strategies ``repro validate fuzz`` samples from)."""
+
+    @given(ops_strategy(min_size=10, max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_reexecution_is_bounded_and_uses_backend_port(self, ops):
+        """Verification re-executes a committed load at most once, and
+        every re-execution is exactly one back-end data-cache read."""
+        trace = ops_to_trace(ops)
+        stats = simulate(MachineConfig.nosq(), trace)
+        assert stats.reexecuted_loads <= stats.loads
+        assert stats.backend_dcache_reads == stats.reexecuted_loads
+
+    @given(ops_strategy(min_size=10, max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_fuzzed_traces_complete_within_width_bound(self, ops):
+        trace = ops_to_trace(ops)
+        stats = simulate(MachineConfig.nosq(), trace)
+        assert stats.instructions == len(trace)
+        assert stats.cycles >= len(trace) / 4
+
+    @given(st.integers(min_value=0, max_value=31))
+    @settings(max_examples=8, deadline=None)
+    def test_generator_is_a_pure_function_of_its_seed(self, seed):
+        """The fuzz RNG-seed <-> trace reproducibility guarantee."""
+        assert generate_ops(seed, 80) == generate_ops(seed, 80)
